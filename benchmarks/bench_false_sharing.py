@@ -1,0 +1,40 @@
+"""False-sharing sweep (paper §5.8).
+
+"In all of the programs, the number of processors sharing a page is
+increased by false sharing. ... Lazy protocols eliminate this
+communication, because processors that falsely share data are unlikely
+to be causally related." This bench isolates the effect with a workload
+whose *only* sharing is false, and shows the lazy/eager gap widening
+with page size.
+"""
+
+from repro.experiments.ablation import run_false_sharing_sweep
+
+PAGE_SIZES = [256, 512, 1024, 2048, 4096]
+
+
+def test_false_sharing_gap_vs_page_size(benchmark):
+    grid = benchmark.pedantic(
+        lambda: run_false_sharing_sweep(n_procs=16, page_sizes=PAGE_SIZES, rounds=24),
+        rounds=1,
+        iterations=1,
+    )
+    print()
+    print("pure false sharing: per-processor counters packed onto shared pages")
+    print(f"{'page':>6} " + "".join(f"{p:>10}" for p in ("LI", "LU", "EI", "EU")) + "  (messages)")
+    for page_size in PAGE_SIZES:
+        row = grid[page_size]
+        print(f"{page_size:>6} " + "".join(f"{row[p].messages:>10}" for p in row))
+    gaps = []
+    for page_size in PAGE_SIZES:
+        eager = grid[page_size]["EI"].data_bytes
+        lazy = grid[page_size]["LI"].data_bytes
+        gaps.append(eager / max(lazy, 1))
+    print("EI/LI data gap by page size:", [round(g, 1) for g in gaps])
+    # The gap grows monotonically once pages exceed one processor's block.
+    assert gaps[-1] > gaps[0]
+    assert gaps[-1] > 3.0
+    # Eager protocols pay at every synchronization; lazy only when the
+    # (rare) true sharing makes processors causally related.
+    for page_size in PAGE_SIZES[2:]:
+        assert grid[page_size]["LI"].messages < grid[page_size]["EI"].messages

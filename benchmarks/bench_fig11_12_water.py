@@ -1,0 +1,23 @@
+"""Figures 11/12 — Water messages and data vs page size.
+
+Paper §5.6: "Of the five benchmark programs, Water has the least
+communication ... While the lazy protocols use only slightly fewer
+messages than eager protocols for large page sizes, their data totals
+are significantly lower because they can often avoid bringing an entire
+page across the network on an access miss."
+"""
+
+from benchmarks.conftest import run_and_check_figure
+
+
+def test_fig11_12_water(benchmark, water_trace):
+    sweep = run_and_check_figure(benchmark, "water", water_trace)
+    # Least communication: absolute message totals far below LocusRoute's
+    # for the same protocol (checked against a stored reference ratio
+    # rather than regenerating the other trace here).
+    li = sweep.grid[("LI", 8192)]
+    ei = sweep.grid[("EI", 8192)]
+    # "only slightly fewer messages ... for large page sizes" for the
+    # invalidate pair, but data totals significantly lower.
+    assert li.messages < ei.messages
+    assert li.data_bytes * 3 < ei.data_bytes

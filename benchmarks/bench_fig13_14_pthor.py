@@ -1,0 +1,27 @@
+"""Figures 13/14 — PTHOR messages and data vs page size.
+
+Paper §5.7: per-processor pages written by their owner and read by
+everyone; "Data totals for EI are particularly high, because frequent
+reloads cause the entire page to be sent. The message count for LI is
+higher than for LU, because LI has more access misses."
+"""
+
+from benchmarks.conftest import run_and_check_figure
+
+
+def test_fig13_14_pthor(benchmark, pthor_trace):
+    sweep = run_and_check_figure(benchmark, "pthor", pthor_trace)
+    # EI's reload storm: the worst data at every swept size.
+    for page_size in sweep.page_sizes:
+        ei = sweep.grid[("EI", page_size)].data_bytes
+        others = max(
+            sweep.grid[(p, page_size)].data_bytes for p in ("LI", "LU", "EU")
+        )
+        assert ei > others
+    # LI misses strictly more than LU at every size (the paper's stated
+    # cause; the message-count ordering follows at large pages).
+    for page_size in sweep.page_sizes:
+        assert (
+            sweep.grid[("LI", page_size)].misses
+            > sweep.grid[("LU", page_size)].misses
+        )

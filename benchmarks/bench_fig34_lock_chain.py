@@ -1,0 +1,31 @@
+"""Figures 3/4 — repeated lock handoffs over one shared datum.
+
+Figure 3 shows eager RC repeatedly updating every cached copy of ``x`` at
+each release; Figure 4 shows LRC sending lock and datum together, one
+message exchange per acquire. This bench reproduces the scenario and
+checks both effects.
+"""
+
+from repro.experiments.figures import run_lock_chain
+
+
+def test_fig3_4_lock_chain(benchmark):
+    results = benchmark.pedantic(
+        lambda: run_lock_chain(n_procs=8, rounds=16, page_size=1024),
+        rounds=1,
+        iterations=1,
+    )
+    print()
+    print("Figure 3/4: one lock handed around 8 processors, 16 rounds each")
+    for result in results:
+        print("  " + result.summary_row())
+    by_name = {r.protocol: r for r in results}
+    # Figure 3: eager update re-updates all cached copies at every release.
+    assert by_name["EU"].category_messages()["unlock"] > 0
+    assert by_name["EU"].messages > 1.5 * by_name["LU"].messages
+    # Figure 4: lazy sends nothing at releases; data rides the grant path.
+    for lazy in ("LI", "LU"):
+        assert by_name[lazy].category_messages()["unlock"] == 0
+    # Lazy moves less data than either eager protocol.
+    assert by_name["LI"].data_bytes < by_name["EI"].data_bytes
+    assert by_name["LU"].data_bytes <= by_name["EU"].data_bytes

@@ -1,0 +1,18 @@
+"""Figures 5/6 — LocusRoute messages and data vs page size.
+
+Paper §5.3: data movement is largely migratory, locks dominate, false
+sharing grows with page size; "The lazy protocols reduce the number of
+messages and the amount of data exchanged, for all page sizes."
+"""
+
+from benchmarks.conftest import run_and_check_figure
+
+
+def test_fig5_6_locusroute(benchmark, locusroute_trace):
+    sweep = run_and_check_figure(benchmark, "locusroute", locusroute_trace)
+    # Migratory + lock-dominated: at the paper's default 4K pages the lazy
+    # invalidate protocol roughly halves EI's message count.
+    li = sweep.grid[("LI", 4096)]
+    ei = sweep.grid[("EI", 4096)]
+    assert li.messages < 0.8 * ei.messages
+    assert li.data_bytes < 0.25 * ei.data_bytes

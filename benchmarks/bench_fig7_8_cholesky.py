@@ -1,0 +1,20 @@
+"""Figures 7/8 — Cholesky messages and data vs page size.
+
+Paper §5.4: "Data motion in Cholesky is largely migratory, as in
+LocusRoute" — task-queue and per-column locks, no barriers; lazy
+protocols reduce messages and data.
+"""
+
+from repro.trace.events import EventType
+
+from benchmarks.conftest import run_and_check_figure
+
+
+def test_fig7_8_cholesky(benchmark, cholesky_trace):
+    # The workload itself must match §5.4: no barriers at all.
+    assert cholesky_trace.counts_by_type()[EventType.BARRIER] == 0
+    sweep = run_and_check_figure(benchmark, "cholesky", cholesky_trace)
+    # EU mishandles migratory columns: worst message count at large pages.
+    for page_size in (4096, 8192):
+        eu = sweep.grid[("EU", page_size)].messages
+        assert eu == max(sweep.grid[(p, page_size)].messages for p in sweep.protocols)

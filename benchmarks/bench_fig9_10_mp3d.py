@@ -1,0 +1,22 @@
+"""Figures 9/10 — MP3D messages and data vs page size.
+
+Paper §5.5: "The message traffic for MP3D is dominated by access misses
+... The lazy protocols exchange less data than the eager ones, because
+they only need to send diffs on an access miss and not full pages."
+"""
+
+from benchmarks.conftest import run_and_check_figure
+
+
+def test_fig9_10_mp3d(benchmark, mp3d_trace):
+    sweep = run_and_check_figure(benchmark, "mp3d", mp3d_trace)
+    # Miss-dominated: for the invalidate protocols a large share of the
+    # messages is in the miss category.
+    for protocol in ("LI", "EI"):
+        result = sweep.grid[(protocol, 2048)]
+        assert result.category_messages()["miss"] > 0.3 * result.messages
+    # Diffs vs full pages: LI ships far fewer bytes per miss than EI.
+    li, ei = sweep.grid[("LI", 4096)], sweep.grid[("EI", 4096)]
+    assert li.data_bytes / max(li.misses, 1) < 0.3 * (
+        ei.data_bytes / max(ei.misses, 1)
+    )

@@ -1,0 +1,56 @@
+"""LRC vs home-based LRC (HLRC) — the classic follow-up comparison.
+
+Homeless LRC (the paper's protocol) ships diffs from their creators and
+must retain them indefinitely; home-based LRC flushes diffs to a static
+home at interval close and serves whole pages on misses. The well-known
+trade: HLRC transfers more *data* (full pages), needs no diff retention
+at all, and keeps misses at one round trip regardless of the writer
+history.
+"""
+
+import pytest
+
+from repro.apps import APPS
+from repro.simulator.engine import simulate
+
+APP_NAMES = ("locusroute", "mp3d", "pthor")
+
+
+@pytest.fixture(scope="module")
+def traces():
+    return {app: APPS[app](n_procs=16, seed=0) for app in APP_NAMES}
+
+
+def test_lrc_vs_hlrc(benchmark, traces):
+    def runs():
+        return {
+            app: {p: simulate(trace, p, page_size=2048) for p in ("LI", "HLRC")}
+            for app, trace in traces.items()
+        }
+
+    table = benchmark.pedantic(runs, rounds=1, iterations=1)
+    print()
+    print(
+        f"{'app':<12}{'proto':<7}{'msgs':>9}{'data kB':>10}{'misses':>8}"
+        f"{'peak diff kB':>14}"
+    )
+    for app, row in table.items():
+        for protocol in ("LI", "HLRC"):
+            result = row[protocol]
+            print(
+                f"{app:<12}{protocol:<7}{result.messages:>9}"
+                f"{result.data_kbytes:>10.1f}{result.misses:>8}"
+                f"{result.counters['peak_retained_diff_bytes']/1024:>14.1f}"
+            )
+    for app, row in table.items():
+        li, hlrc = row["LI"], row["HLRC"]
+        # HLRC's memory advantage: (near-)zero diff retention.
+        assert (
+            hlrc.counters["peak_retained_diff_bytes"]
+            < 0.2 * li.counters["peak_retained_diff_bytes"]
+        ), app
+        # Its cost: full-page transfers dominate the data totals.
+        assert hlrc.data_bytes > li.data_bytes, app
+        # Message counts stay in the same ballpark (within 2x either way).
+        ratio = hlrc.messages / li.messages
+        assert 0.5 < ratio < 2.0, (app, ratio)

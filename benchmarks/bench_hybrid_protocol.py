@@ -1,0 +1,45 @@
+"""Adaptive-policy bench: does per-page LI/LU selection pay off?
+
+Extension beyond the paper (motivated by §6's note that Munin's multiple
+protocols reduce messages): LH promotes repeatedly-remissing pages to an
+eager-pull (LU) policy and demotes pages whose pulls go unused. The bench
+checks that, at full scale, LH tracks the better pure policy on every
+kernel — it need not beat both, but it must never be far from the best.
+"""
+
+import pytest
+
+from repro.apps import APPS
+from repro.simulator.engine import simulate
+
+APP_NAMES = ("locusroute", "cholesky", "mp3d", "water", "pthor")
+
+
+@pytest.fixture(scope="module")
+def traces():
+    return {app: APPS[app](n_procs=16, seed=0) for app in APP_NAMES}
+
+
+def test_hybrid_tracks_best_pure_policy(benchmark, traces):
+    def runs():
+        table = {}
+        for app, trace in traces.items():
+            table[app] = {
+                p: simulate(trace, p, page_size=2048) for p in ("LI", "LU", "LH")
+            }
+        return table
+
+    table = benchmark.pedantic(runs, rounds=1, iterations=1)
+    print()
+    print(f"{'app':<12}{'LI':>9}{'LU':>9}{'LH':>9}   (messages @ 2KB)")
+    for app, row in table.items():
+        print(
+            f"{app:<12}{row['LI'].messages:>9}{row['LU'].messages:>9}"
+            f"{row['LH'].messages:>9}   promotions={row['LH'].counters['promotions']}"
+        )
+    for app, row in table.items():
+        best = min(row["LI"].messages, row["LU"].messages)
+        assert row["LH"].messages <= 1.15 * best, (app, row["LH"].messages, best)
+    # Where the pure policies differ most (water), LH lands near LI.
+    water = table["water"]
+    assert water["LH"].messages < 0.8 * water["LU"].messages

@@ -1,0 +1,47 @@
+"""Processor-count scaling (beyond the paper's fixed 16 processors).
+
+The paper evaluates at one machine size. This bench re-runs LocusRoute
+at 4, 8 and 16 processors and checks that the lazy advantage is not a
+16-processor artifact: LI beats EI in messages and data at every size,
+and the eager protocols' relative cost *grows* with the machine (more
+cachers per page means more eager push traffic per release).
+"""
+
+import pytest
+
+from repro.apps import APPS
+from repro.simulator.engine import simulate
+
+PROC_COUNTS = (4, 8, 16)
+
+
+@pytest.fixture(scope="module")
+def traces():
+    return {n: APPS["locusroute"](n_procs=n, seed=0) for n in PROC_COUNTS}
+
+
+def test_scaling_with_processor_count(benchmark, traces):
+    def runs():
+        return {
+            n: {p: simulate(trace, p, page_size=2048) for p in ("LI", "EI", "EU")}
+            for n, trace in traces.items()
+        }
+
+    table = benchmark.pedantic(runs, rounds=1, iterations=1)
+    print()
+    print(f"{'procs':>6}{'LI msgs':>10}{'EI msgs':>10}{'EU msgs':>10}{'EI/LI':>8}")
+    ratios = []
+    for n in PROC_COUNTS:
+        row = table[n]
+        ratio = row["EI"].messages / row["LI"].messages
+        ratios.append(ratio)
+        print(
+            f"{n:>6}{row['LI'].messages:>10}{row['EI'].messages:>10}"
+            f"{row['EU'].messages:>10}{ratio:>8.2f}"
+        )
+    for n in PROC_COUNTS:
+        row = table[n]
+        assert row["LI"].messages < row["EI"].messages
+        assert row["LI"].data_bytes < row["EI"].data_bytes
+    # The eager/lazy gap widens as processors (and cachers) multiply.
+    assert ratios[-1] > ratios[0]

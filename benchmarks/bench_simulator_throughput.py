@@ -1,0 +1,24 @@
+"""Simulator throughput — a conventional performance benchmark.
+
+Times the protocol simulator itself (events/second per protocol) on a
+fixed mid-size trace. Useful for tracking regressions in the simulator;
+not a paper figure.
+"""
+
+import pytest
+
+from repro.apps import APPS
+from repro.simulator.engine import simulate
+
+
+@pytest.fixture(scope="module")
+def trace():
+    return APPS["water"](n_procs=8, seed=0, n_molecules=96, timesteps=2)
+
+
+@pytest.mark.parametrize("protocol", ["LI", "LU", "EI", "EU"])
+def test_simulator_throughput(benchmark, trace, protocol):
+    result = benchmark(lambda: simulate(trace, protocol, page_size=2048))
+    assert result.events == len(trace)
+    events_per_second = len(trace) / benchmark.stats.stats.mean
+    print(f"\n{protocol}: {events_per_second:,.0f} events/s over {len(trace)} events")

@@ -1,0 +1,28 @@
+"""Table 1 — per-operation message costs.
+
+Regenerates every cell of the paper's Table 1 (messages per access miss,
+lock, unlock, and barrier for LI/LU/EI/EU, in terms of m, h, c, n, u, v)
+from isolated micro-traces and checks each against the analytical model.
+"""
+
+from repro.experiments.table1 import run_table1
+
+
+def test_table1_per_operation_costs(benchmark):
+    rows = benchmark.pedantic(run_table1, rounds=1, iterations=1)
+    print()
+    header = "Table 1: per-operation message costs (simulated vs model)"
+    print(header)
+    print("=" * len(header))
+    print(f"{'proto':<6}{'operation':<10}{'params':<24}{'simulated':>10}{'model':>8}")
+    for row in rows:
+        print(
+            f"{row.protocol:<6}{row.operation:<10}{row.params:<24}"
+            f"{row.simulated:>10}{row.analytical:>8}"
+        )
+    mismatches = [r for r in rows if not r.ok]
+    assert mismatches == [], f"cells disagreeing with the model: {mismatches}"
+    # Coverage: every protocol appears in every operation class it has a
+    # defined cost for.
+    assert {r.protocol for r in rows} == {"LI", "LU", "EI", "EU"}
+    assert {r.operation for r in rows} == {"miss", "lock", "unlock", "barrier"}

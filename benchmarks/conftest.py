@@ -1,0 +1,65 @@
+"""Shared benchmark machinery.
+
+Every evaluation figure gets one bench that (a) regenerates the figure's
+full protocol x page-size grid from a freshly generated 16-processor
+trace, (b) prints the series the paper plots, and (c) asserts the
+qualitative shapes from §5 (see ``repro.experiments.figures`` and
+EXPERIMENTS.md). Trace generation happens in a module fixture so the
+timed region is the protocol simulation itself.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.report import format_figure_table
+from repro.apps import APPS
+from repro.experiments.figures import FIGURES, expected_shapes, run_figure
+
+#: Bench-scale processor count (the paper's).
+N_PROCS = 16
+SEED = 0
+
+
+def make_trace(app: str):
+    return APPS[app](n_procs=N_PROCS, seed=SEED)
+
+
+def run_and_check_figure(benchmark, app: str, trace):
+    """Run the sweep under the benchmark timer, print it, assert shapes."""
+    sweep = benchmark.pedantic(
+        lambda: run_figure(app, trace=trace), rounds=1, iterations=1
+    )
+    spec = FIGURES[app]
+    print()
+    print(format_figure_table(sweep, f"Figure {spec.messages_figure}", "messages"))
+    print()
+    print(format_figure_table(sweep, f"Figure {spec.data_figure}", "data"))
+    failures = [name for name, check in expected_shapes(app).items() if not check(sweep)]
+    assert failures == [], f"{app}: paper-shape checks failed: {failures}"
+    return sweep
+
+
+@pytest.fixture(scope="module")
+def locusroute_trace():
+    return make_trace("locusroute")
+
+
+@pytest.fixture(scope="module")
+def cholesky_trace():
+    return make_trace("cholesky")
+
+
+@pytest.fixture(scope="module")
+def mp3d_trace():
+    return make_trace("mp3d")
+
+
+@pytest.fixture(scope="module")
+def water_trace():
+    return make_trace("water")
+
+
+@pytest.fixture(scope="module")
+def pthor_trace():
+    return make_trace("pthor")

@@ -1,0 +1,42 @@
+#!/usr/bin/env python3
+"""False sharing and why lazy protocols shrug it off (paper §5.8).
+
+A workload whose only page sharing is *false* — every processor updates
+its own counters, packed onto common pages — with occasional pairwise
+lock syncs. Eager protocols push page traffic to every cacher at each
+release; lazy protocols only move what the thin causal chains require.
+The gap widens with page size, and disappears when the counters are
+padded onto private pages.
+
+Run:  python examples/false_sharing.py
+"""
+
+from repro.apps.synthetic import false_sharing
+from repro.simulator import simulate
+
+PAGE_SIZES = (256, 1024, 4096)
+
+
+def sweep(label: str, spread_bytes: int) -> None:
+    trace = false_sharing(n_procs=8, rounds=24, words_per_proc=8, spread_bytes=spread_bytes)
+    print(f"{label}:")
+    print(f"  {'page':>6} " + "".join(f"{p:>10}" for p in ("LI", "LU", "EI", "EU")) + "   (data kB)")
+    for page_size in PAGE_SIZES:
+        row = [simulate(trace, p, page_size=page_size) for p in ("LI", "LU", "EI", "EU")]
+        cells = "".join(f"{r.data_kbytes:>10.1f}" for r in row)
+        print(f"  {page_size:>6} {cells}")
+    print()
+
+
+def main() -> None:
+    sweep("packed counters (false sharing grows with page size)", spread_bytes=0)
+    sweep("padded counters (no false sharing at any swept size)", spread_bytes=8192)
+    print(
+        "With packed counters, EI refetches whole falsely-shared pages over\n"
+        "and over; with padding, all four protocols quiet down — the paper's\n"
+        "point that multiple-writer lazy protocols absorb false sharing."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,45 @@
+#!/usr/bin/env python3
+"""Quickstart: simulate the four protocols on one SPLASH-like workload.
+
+Generates a 16-processor Water trace with the built-in execution engine,
+replays it under LI / LU / EI / EU at a 4 KB page size, prints the
+message and data totals (the quantities the paper's figures plot), and
+audits one run end-to-end with the release-consistency checker.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import simulate
+from repro.analysis import check_protocol
+from repro.apps import water
+
+
+def main() -> None:
+    print("generating a 16-processor Water trace ...")
+    trace = water.generate(n_procs=16, seed=42, n_molecules=96, timesteps=2)
+    print(f"  {trace!r}\n")
+
+    print("protocol comparison at 4096-byte pages:")
+    results = {}
+    for protocol in ("LI", "LU", "EI", "EU"):
+        results[protocol] = simulate(trace, protocol, page_size=4096)
+        print("  " + results[protocol].summary_row())
+
+    lazy, eager = results["LI"], results["EI"]
+    print(
+        f"\nlazy release consistency sends "
+        f"{eager.messages / lazy.messages:.1f}x fewer messages and "
+        f"{eager.data_bytes / lazy.data_bytes:.1f}x less data than eager RC "
+        f"(invalidate policies)."
+    )
+
+    print("\nauditing LI end-to-end (every read must return the hb-latest write) ...")
+    report = check_protocol(trace, "LI", page_size=4096)
+    print(
+        f"  verified {report.reads_checked} reads, "
+        f"{report.reads_racy} racy reads skipped — release consistent."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,61 @@
+#!/usr/bin/env python3
+"""Estimate LRC's runtime cost — the paper's stated future work (§7).
+
+"We intend to implement LRC to evaluate its runtime cost. The message
+and data reductions seen in our simulations seem to indicate that LRC
+will outperform eager RC in a software DSM environment."
+
+This example closes that loop with a cost model: the simulator's message
+and byte counts, combined with per-message software overhead, wire
+bandwidth, and per-diff/per-interval bookkeeping costs, yield estimated
+communication seconds. LRC pays more bookkeeping (intervals, vector
+clocks, diff management) — the question is whether the message savings
+cover it. Under 1992-class constants, they do, comfortably; under
+modern-cluster constants the margin narrows but the ranking holds.
+
+Run:  python examples/runtime_cost.py
+"""
+
+from repro.apps import mp3d
+from repro.simulator import TimingModel, estimate_runtime, simulate
+
+PROTOCOLS = ("LI", "LU", "EI", "EU")
+
+
+def show(title: str, results, model: TimingModel) -> None:
+    print(title)
+    estimates = {p: estimate_runtime(results[p], model) for p in PROTOCOLS}
+    baseline = estimates["EI"].total_seconds
+    for protocol in PROTOCOLS:
+        estimate = estimates[protocol]
+        ratio = estimate.total_seconds / baseline
+        print(f"  {estimate.format()}   [{ratio:.2f}x EI]")
+    print()
+
+
+def main() -> None:
+    print("generating a 16-processor MP3D trace ...")
+    trace = mp3d.generate(n_procs=16, seed=3)
+    print(f"  {trace!r}\n")
+
+    results = {p: simulate(trace, p, page_size=2048) for p in PROTOCOLS}
+
+    show(
+        "1992 Ethernet-class constants (1 ms/message, 10 Mbit/s):",
+        results,
+        TimingModel.ethernet_1992(),
+    )
+    show(
+        "modern cluster constants (5 us/message, ~10 GB/s):",
+        results,
+        TimingModel.modern_cluster(),
+    )
+    print(
+        "The lazy protocols' interval/vector-clock bookkeeping (the\n"
+        "'bookkeeping' term) is real but an order of magnitude below the\n"
+        "message savings — the paper's conjecture, quantified."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,39 @@
+#!/usr/bin/env python3
+"""Regenerate one of the paper's evaluation figure pairs.
+
+Picks an application (default: LocusRoute, Figures 5/6), generates its
+16-processor trace, sweeps the four protocols across the paper's page
+sizes, and prints both figures as tables, plus a normalized comparison.
+
+Run:  python examples/splash_sweep.py [locusroute|cholesky|mp3d|water|pthor]
+"""
+
+import sys
+
+from repro.analysis.report import format_comparison, format_figure_table
+from repro.apps import APPS
+from repro.experiments.figures import FIGURES, run_figure
+
+
+def main() -> None:
+    app = sys.argv[1] if len(sys.argv) > 1 else "locusroute"
+    if app not in FIGURES:
+        raise SystemExit(f"unknown app {app!r}; pick one of {', '.join(FIGURES)}")
+    spec = FIGURES[app]
+
+    print(f"generating the {app} trace (16 processors) ...")
+    trace = APPS[app](n_procs=16, seed=0)
+    print(f"  {trace!r}\n")
+
+    print("sweeping 4 protocols x 5 page sizes ...\n")
+    sweep = run_figure(app, trace=trace)
+    print(format_figure_table(sweep, f"Figure {spec.messages_figure}", "messages"))
+    print()
+    print(format_figure_table(sweep, f"Figure {spec.data_figure}", "data"))
+    print()
+    results = [sweep.grid[(p, 4096)] for p in sweep.protocols]
+    print("at the default 4096-byte page size, " + format_comparison(results))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,80 @@
+"""repro — Lazy Release Consistency for software distributed shared memory.
+
+A full reproduction of Keleher, Cox & Zwaenepoel, *Lazy Release
+Consistency for Software Distributed Shared Memory* (ISCA 1992): the four
+coherence protocols (LI, LU, EI, EU), the trace-driven protocol simulator
+that counts messages and data, a deterministic execution engine standing
+in for the Tango tracer, SPLASH-like workload kernels, and an end-to-end
+release-consistency checker.
+
+Quickstart::
+
+    from repro import simulate, SimConfig
+    from repro.apps import locusroute
+
+    trace = locusroute.generate(n_procs=16, seed=1)
+    for protocol in ("LI", "LU", "EI", "EU"):
+        result = simulate(trace, protocol, page_size=4096)
+        print(result.summary_row())
+"""
+
+from repro.common import VectorClock
+from repro.memory import AddressSpace, Diff, Page, PageTable
+from repro.network import CostModel, Network, NetworkStats
+from repro.protocols import (
+    EagerInvalidate,
+    EagerUpdate,
+    LazyInvalidate,
+    LazyUpdate,
+    PROTOCOLS,
+    Protocol,
+    protocol_class,
+    protocol_names,
+)
+from repro.simulator import (
+    Engine,
+    PAPER_N_PROCS,
+    PAPER_PAGE_SIZES,
+    SimConfig,
+    SimulationResult,
+    SweepResult,
+    run_sweep,
+    simulate,
+)
+from repro.trace import Event, EventType, TraceMeta, TraceStream, load_trace, save_trace
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "VectorClock",
+    "AddressSpace",
+    "Diff",
+    "Page",
+    "PageTable",
+    "CostModel",
+    "Network",
+    "NetworkStats",
+    "Protocol",
+    "LazyInvalidate",
+    "LazyUpdate",
+    "EagerInvalidate",
+    "EagerUpdate",
+    "PROTOCOLS",
+    "protocol_class",
+    "protocol_names",
+    "Engine",
+    "SimConfig",
+    "SimulationResult",
+    "SweepResult",
+    "run_sweep",
+    "simulate",
+    "PAPER_PAGE_SIZES",
+    "PAPER_N_PROCS",
+    "Event",
+    "EventType",
+    "TraceMeta",
+    "TraceStream",
+    "load_trace",
+    "save_trace",
+    "__version__",
+]

@@ -1,0 +1,73 @@
+"""Dependency-free text charts for the evaluation figures.
+
+The paper plots grouped series (four protocols) against page size;
+:func:`render_series_chart` renders the same shape as horizontal scaled
+bars so figure output is readable straight from a terminal or a CI log.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Union
+
+Number = Union[int, float]
+
+_BAR = "█"
+_WIDTH = 48
+
+
+def render_bar_line(value: Number, maximum: Number, width: int = _WIDTH) -> str:
+    """One scaled bar; at least one cell for any non-zero value."""
+    if maximum <= 0:
+        return ""
+    cells = int(round(width * value / maximum))
+    if value > 0 and cells == 0:
+        cells = 1
+    return _BAR * cells
+
+
+def render_series_chart(
+    title: str,
+    x_labels: Sequence[Number],
+    series: Dict[str, List[Number]],
+    unit: str = "",
+    width: int = _WIDTH,
+) -> str:
+    """Grouped horizontal bars: one group per x label, one bar per series.
+
+    Args:
+        title: chart heading.
+        x_labels: group labels (page sizes).
+        series: name -> one value per x label.
+        unit: printed after each value.
+    """
+    for name, values in series.items():
+        if len(values) != len(x_labels):
+            raise ValueError(
+                f"series {name!r} has {len(values)} values for "
+                f"{len(x_labels)} labels"
+            )
+    peak = max((v for values in series.values() for v in values), default=0)
+    lines = [title, "=" * len(title)]
+    name_width = max((len(name) for name in series), default=4)
+    for index, label in enumerate(x_labels):
+        lines.append(f"{label}:")
+        for name, values in series.items():
+            value = values[index]
+            bar = render_bar_line(value, peak, width)
+            formatted = f"{value:,.1f}" if isinstance(value, float) else f"{value:,}"
+            lines.append(f"  {name:<{name_width}} {bar} {formatted}{unit}")
+    return "\n".join(lines)
+
+
+def render_sweep_chart(sweep, metric: str = "messages") -> str:
+    """Chart a :class:`~repro.simulator.sweep.SweepResult` directly."""
+    if metric == "messages":
+        series = {p: sweep.message_series(p) for p in sweep.protocols}
+        unit = ""
+    elif metric == "data":
+        series = {p: sweep.data_series(p) for p in sweep.protocols}
+        unit = " kB"
+    else:
+        raise ValueError(f"metric must be 'messages' or 'data', got {metric!r}")
+    title = f"{sweep.app}: {metric} by page size"
+    return render_series_chart(title, sweep.page_sizes, series, unit=unit)

@@ -1,0 +1,122 @@
+"""Lock-pattern analysis.
+
+§5.8 divides the SPLASH programs by synchronization style: barrier-heavy
+(MP3D, Water) versus migratory lock-controlled (LocusRoute, Cholesky,
+PTHOR). This module quantifies the style of a trace: per-lock handoff
+counts (how often a lock moves between processors — migratory pressure),
+reacquire rates (how often the same processor takes it again — locality
+the free-local-reacquire option exploits), and the overall lock/barrier
+balance.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.common.types import LockId, ProcId
+from repro.trace.events import EventType
+from repro.trace.stream import TraceStream
+
+
+@dataclass
+class LockProfile:
+    """Acquisition pattern of one lock."""
+
+    lock: LockId
+    acquisitions: int = 0
+    handoffs: int = 0  # acquired by a different processor than last time
+    holders: Dict[ProcId, int] = field(default_factory=dict)
+    _last_holder: Optional[ProcId] = None
+
+    @property
+    def reacquires(self) -> int:
+        return self.acquisitions - self.handoffs - (1 if self.acquisitions else 0)
+
+    @property
+    def handoff_rate(self) -> float:
+        """Fraction of (re)acquisitions that moved the lock."""
+        if self.acquisitions <= 1:
+            return 0.0
+        return self.handoffs / (self.acquisitions - 1)
+
+    @property
+    def n_holders(self) -> int:
+        return len(self.holders)
+
+    def record(self, proc: ProcId) -> None:
+        self.acquisitions += 1
+        self.holders[proc] = self.holders.get(proc, 0) + 1
+        if self._last_holder is not None and self._last_holder != proc:
+            self.handoffs += 1
+        self._last_holder = proc
+
+
+@dataclass
+class LockReport:
+    """Whole-trace synchronization profile."""
+
+    app: str
+    n_locks: int
+    total_acquisitions: int
+    total_handoffs: int
+    barrier_arrivals: int
+    locks: Dict[LockId, LockProfile]
+
+    @property
+    def handoff_rate(self) -> float:
+        moves = sum(max(p.acquisitions - 1, 0) for p in self.locks.values())
+        if moves == 0:
+            return 0.0
+        return self.total_handoffs / moves
+
+    @property
+    def lock_to_barrier_ratio(self) -> float:
+        """>1: lock-dominated (LocusRoute category); <1: barrier-dominated."""
+        if self.barrier_arrivals == 0:
+            return float("inf") if self.total_acquisitions else 0.0
+        return self.total_acquisitions / self.barrier_arrivals
+
+    def hottest(self, k: int = 5) -> List[LockProfile]:
+        """The ``k`` most acquired locks."""
+        return sorted(
+            self.locks.values(), key=lambda p: p.acquisitions, reverse=True
+        )[:k]
+
+    def format(self) -> str:
+        lines = [
+            f"{self.app}: {self.total_acquisitions} acquisitions over "
+            f"{self.n_locks} locks, handoff rate {self.handoff_rate:.0%}, "
+            f"lock/barrier ratio "
+            + (
+                "inf"
+                if self.lock_to_barrier_ratio == float("inf")
+                else f"{self.lock_to_barrier_ratio:.1f}"
+            ),
+        ]
+        for profile in self.hottest():
+            lines.append(
+                f"  lock {profile.lock:<5} acq={profile.acquisitions:<6} "
+                f"handoffs={profile.handoffs:<6} holders={profile.n_holders}"
+            )
+        return "\n".join(lines)
+
+
+def analyze_locks(trace: TraceStream) -> LockReport:
+    """Profile every lock in ``trace``."""
+    locks: Dict[LockId, LockProfile] = {}
+    barriers = 0
+    for event in trace:
+        if event.type == EventType.ACQUIRE:
+            assert event.lock is not None
+            locks.setdefault(event.lock, LockProfile(lock=event.lock)).record(event.proc)
+        elif event.type == EventType.BARRIER:
+            barriers += 1
+    return LockReport(
+        app=trace.meta.app,
+        n_locks=len(locks),
+        total_acquisitions=sum(p.acquisitions for p in locks.values()),
+        total_handoffs=sum(p.handoffs for p in locks.values()),
+        barrier_arrivals=barriers,
+        locks=locks,
+    )

@@ -1,0 +1,107 @@
+"""Protocol-internal statistics: the distributions behind Table 1's terms.
+
+Table 1 parameterizes lazy costs by ``m`` (concurrent last modifiers per
+access miss) and ``h`` (modifiers contacted per eager pull). Those are
+distributions, not constants — and the paper's per-program analysis
+turns on their magnitude (migratory lock-controlled data keeps ``m``
+near 1; false sharing raises it). This module runs an instrumented
+simulation and reports the histograms.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from repro.config import SimConfig
+from repro.protocols.lazy_base import LazyProtocol
+from repro.simulator.engine import Engine
+from repro.simulator.results import SimulationResult
+from repro.trace.stream import TraceStream
+
+
+@dataclass
+class Distribution:
+    """A small integer histogram with summary statistics."""
+
+    counts: Dict[int, int]
+
+    @property
+    def total(self) -> int:
+        return sum(self.counts.values())
+
+    @property
+    def mean(self) -> float:
+        if not self.total:
+            return 0.0
+        return sum(value * count for value, count in self.counts.items()) / self.total
+
+    @property
+    def max(self) -> int:
+        return max(self.counts) if self.counts else 0
+
+    def percentile(self, q: float) -> int:
+        """The smallest value covering fraction ``q`` of observations."""
+        if not self.counts:
+            return 0
+        if not 0 < q <= 1:
+            raise ValueError(f"q must be in (0, 1], got {q}")
+        threshold = q * self.total
+        running = 0
+        for value in sorted(self.counts):
+            running += self.counts[value]
+            if running >= threshold:
+                return value
+        return self.max
+
+    def fraction_at_most(self, value: int) -> float:
+        if not self.total:
+            return 1.0
+        covered = sum(c for v, c in self.counts.items() if v <= value)
+        return covered / self.total
+
+    def format(self, label: str) -> str:
+        if not self.total:
+            return f"{label}: no observations"
+        return (
+            f"{label}: n={self.total} mean={self.mean:.2f} "
+            f"p50={self.percentile(0.5)} p95={self.percentile(0.95)} max={self.max}"
+        )
+
+
+@dataclass
+class ProtocolStats:
+    """Instrumented run: result plus the m/h distributions."""
+
+    result: SimulationResult
+    miss_modifiers: Distribution
+    pull_modifiers: Distribution
+
+    def format(self) -> str:
+        lines = [self.result.summary_row()]
+        lines.append("  " + self.miss_modifiers.format("m (modifiers per miss)"))
+        lines.append("  " + self.pull_modifiers.format("h (modifiers per pull)"))
+        return "\n".join(lines)
+
+
+def instrumented_run(
+    trace: TraceStream,
+    protocol: str,
+    page_size: int = 4096,
+    config: Optional[SimConfig] = None,
+) -> ProtocolStats:
+    """Simulate a lazy protocol and return its m/h distributions."""
+    base = config or SimConfig(n_procs=trace.n_procs)
+    engine = Engine(trace, base.with_page_size(page_size), protocol)
+    if not isinstance(engine.protocol, LazyProtocol):
+        raise ValueError(
+            f"{protocol!r} is not a lazy protocol; m/h distributions only "
+            f"exist for the lazy family"
+        )
+    result = engine.run()
+    lazy = engine.protocol
+    return ProtocolStats(
+        result=result,
+        miss_modifiers=Distribution(dict(lazy.miss_m_histogram)),
+        pull_modifiers=Distribution(dict(lazy.pull_h_histogram)),
+    )

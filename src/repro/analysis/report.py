@@ -1,0 +1,69 @@
+"""Report formatting for the experiment runners."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+from repro.network.message import CATEGORIES
+from repro.simulator.results import SimulationResult
+from repro.simulator.sweep import SweepResult
+
+
+def format_figure_table(sweep: SweepResult, figure: str, metric: str) -> str:
+    """Render one paper figure as a text table.
+
+    Args:
+        sweep: the protocol x page-size results for one application.
+        figure: label, e.g. "Figure 5".
+        metric: "messages" or "data".
+    """
+    unit = "messages" if metric == "messages" else "data (kbytes)"
+    title = f"{figure}: {sweep.app} {unit}"
+    lines = [title, "=" * len(title)]
+    lines.append(f"{'page size':>10} " + "".join(f"{p:>12}" for p in sweep.protocols))
+    for i, page_size in enumerate(sweep.page_sizes):
+        row = [f"{page_size:>10} "]
+        for protocol in sweep.protocols:
+            if metric == "messages":
+                row.append(f"{sweep.message_series(protocol)[i]:>12}")
+            else:
+                row.append(f"{sweep.data_series(protocol)[i]:>12.1f}")
+        lines.append("".join(row))
+    return "\n".join(lines)
+
+
+def format_table1(results: Dict[str, SimulationResult]) -> str:
+    """Render per-category message counts for the four protocols.
+
+    ``results`` maps protocol name -> simulation of the same trace; the
+    output mirrors Table 1's columns (miss / lock / unlock / barrier).
+    """
+    title = "Table 1: per-operation message counts (simulated)"
+    lines = [title, "=" * len(title)]
+    lines.append(f"{'proto':<6}" + "".join(f"{c:>10}" for c in CATEGORIES) + f"{'total':>10}")
+    for name, result in results.items():
+        cats = result.category_messages()
+        lines.append(
+            f"{name:<6}"
+            + "".join(f"{cats[c]:>10}" for c in CATEGORIES)
+            + f"{result.messages:>10}"
+        )
+    return "\n".join(lines)
+
+
+def format_comparison(
+    results: Sequence[SimulationResult], baseline: str = "EI"
+) -> str:
+    """Normalized comparison: each protocol relative to ``baseline``."""
+    by_name = {r.protocol: r for r in results}
+    base = by_name[baseline]
+    lines = [f"relative to {baseline} (messages x, data x):"]
+    for result in results:
+        msg_ratio = result.messages / base.messages if base.messages else float("nan")
+        data_ratio = (
+            result.data_bytes / base.data_bytes if base.data_bytes else float("nan")
+        )
+        lines.append(
+            f"  {result.protocol:<4} messages={msg_ratio:6.2f}x data={data_ratio:6.2f}x"
+        )
+    return "\n".join(lines)

@@ -1,0 +1,116 @@
+"""Traffic timelines: when in the execution a protocol communicates.
+
+Buckets a protocol run's messages by trace position, exposing the
+*shape* of communication over time — eager protocols burst at every
+release, lazy protocols at acquires and misses, barrier apps pulse at
+phase boundaries. Rendered as a text sparkline for quick inspection.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Union
+
+from repro.config import SimConfig
+from repro.protocols.base import Protocol
+from repro.protocols.registry import protocol_class
+from repro.simulator.engine import _split_access
+from repro.trace.events import EventType
+from repro.trace.stream import TraceStream
+
+_SPARKS = " ▁▂▃▄▅▆▇█"
+
+
+@dataclass
+class Timeline:
+    """Messages per bucket of trace positions."""
+
+    protocol: str
+    bucket_events: int
+    message_buckets: List[int]
+    data_byte_buckets: List[int]
+
+    @property
+    def total_messages(self) -> int:
+        return sum(self.message_buckets)
+
+    @property
+    def peak_bucket(self) -> int:
+        return max(self.message_buckets) if self.message_buckets else 0
+
+    @property
+    def burstiness(self) -> float:
+        """Peak-to-mean ratio of per-bucket message counts."""
+        if not self.message_buckets or self.total_messages == 0:
+            return 0.0
+        mean = self.total_messages / len(self.message_buckets)
+        return self.peak_bucket / mean
+
+    def sparkline(self, metric: str = "messages") -> str:
+        buckets = (
+            self.message_buckets if metric == "messages" else self.data_byte_buckets
+        )
+        peak = max(buckets) if buckets else 0
+        if peak == 0:
+            return " " * len(buckets)
+        out = []
+        for value in buckets:
+            index = round(value / peak * (len(_SPARKS) - 1))
+            out.append(_SPARKS[index])
+        return "".join(out)
+
+    def format(self) -> str:
+        return (
+            f"{self.protocol} [{self.sparkline()}] "
+            f"{self.total_messages} msgs, peak {self.peak_bucket}/bucket, "
+            f"burstiness {self.burstiness:.1f}x"
+        )
+
+
+def message_timeline(
+    trace: TraceStream,
+    protocol: Union[str, type],
+    page_size: int = 4096,
+    n_buckets: int = 40,
+    config: Optional[SimConfig] = None,
+) -> Timeline:
+    """Run ``protocol`` over ``trace``, bucketing traffic by position."""
+    if n_buckets < 1:
+        raise ValueError(f"n_buckets must be >= 1, got {n_buckets}")
+    base = config or SimConfig(n_procs=trace.n_procs)
+    cls = protocol_class(protocol) if isinstance(protocol, str) else protocol
+    proto: Protocol = cls(base.with_page_size(page_size))
+    stats = proto.network.stats
+    n_events = max(len(trace), 1)
+    bucket_events = max(1, (n_events + n_buckets - 1) // n_buckets)
+    messages = [0] * n_buckets
+    data = [0] * n_buckets
+    last_msgs = 0
+    last_bytes = 0
+
+    for event in trace:
+        if event.type == EventType.READ:
+            for page, words in _split_access(event.addr, event.size, page_size):
+                proto.read(event.proc, page, words)
+        elif event.type == EventType.WRITE:
+            for page, words in _split_access(event.addr, event.size, page_size):
+                proto.write(event.proc, page, words, token=event.seq)
+        elif event.type == EventType.ACQUIRE:
+            proto.acquire(event.proc, event.lock)
+        elif event.type == EventType.RELEASE:
+            proto.release(event.proc, event.lock)
+        else:
+            proto.barrier(event.proc, event.barrier)
+        bucket = min(event.seq // bucket_events, n_buckets - 1)
+        messages[bucket] += stats.total_messages - last_msgs
+        data[bucket] += stats.total_data_bytes - last_bytes
+        last_msgs = stats.total_messages
+        last_bytes = stats.total_data_bytes
+
+    proto.finish()
+    return Timeline(
+        protocol=proto.name,
+        bucket_events=bucket_events,
+        message_buckets=messages,
+        data_byte_buckets=data,
+    )

@@ -1,0 +1,54 @@
+"""SPLASH-like workload kernels (§5.2-5.7).
+
+Miniature re-implementations of the five SPLASH programs the paper
+traces, written against the DSM runtime so their traces reproduce the
+sharing *patterns* the paper attributes each program's behaviour to:
+
+- :mod:`~repro.apps.locusroute` — lock-dominated, migratory cost grid.
+- :mod:`~repro.apps.cholesky` — migratory columns under task-queue locks,
+  no barriers.
+- :mod:`~repro.apps.mp3d` — barrier-heavy timesteps, miss-dominated cell
+  traffic.
+- :mod:`~repro.apps.water` — barrier timesteps, per-molecule force locks,
+  low communication.
+- :mod:`~repro.apps.pthor` — per-processor queues, single-writer pages
+  read by everyone.
+
+Plus :mod:`~repro.apps.synthetic` parametric patterns (migratory chains,
+producer/consumer, dialable false sharing) used by the ablation benches.
+
+Every module exposes ``generate(n_procs=16, seed=0, **scale) ->
+TraceStream`` returning a validated, race-free trace.
+"""
+
+from repro.apps import cholesky, locusroute, mp3d, pthor, synthetic, water
+
+#: Registry of the paper's five applications: name -> generate function.
+APPS = {
+    "locusroute": locusroute.generate,
+    "cholesky": cholesky.generate,
+    "mp3d": mp3d.generate,
+    "water": water.generate,
+    "pthor": pthor.generate,
+}
+
+
+def generate(app: str, n_procs: int = 16, seed: int = 0, **scale):
+    """Generate a trace for a named application."""
+    try:
+        fn = APPS[app]
+    except KeyError:
+        raise KeyError(f"unknown app {app!r}; expected one of {', '.join(APPS)}") from None
+    return fn(n_procs=n_procs, seed=seed, **scale)
+
+
+__all__ = [
+    "APPS",
+    "generate",
+    "locusroute",
+    "cholesky",
+    "mp3d",
+    "water",
+    "pthor",
+    "synthetic",
+]

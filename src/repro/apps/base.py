@@ -1,0 +1,50 @@
+"""Shared helpers for the workload kernels."""
+
+from __future__ import annotations
+
+import random
+from typing import List, Sequence, Tuple
+
+from repro.common.types import ProcId
+
+
+def thread_rng(seed: int, proc: ProcId) -> random.Random:
+    """A per-thread PRNG decorrelated from the scheduler's seed."""
+    return random.Random((seed * 1_000_003 + proc * 7919) & 0xFFFFFFFF)
+
+
+def block_partition(n_items: int, n_procs: int, proc: ProcId) -> range:
+    """Contiguous block of items owned by ``proc`` (SPLASH-style)."""
+    base = n_items // n_procs
+    extra = n_items % n_procs
+    start = proc * base + min(proc, extra)
+    size = base + (1 if proc < extra else 0)
+    return range(start, start + size)
+
+
+def interleave_partition(n_items: int, n_procs: int, proc: ProcId) -> range:
+    """Cyclic partition: items proc, proc+n, proc+2n, ..."""
+    return range(proc, n_items, n_procs)
+
+
+def pick_distinct(rng: random.Random, population: Sequence[int], k: int) -> List[int]:
+    """Up to ``k`` distinct samples (all of them when the population is small)."""
+    if len(population) <= k:
+        return list(population)
+    return rng.sample(list(population), k)
+
+
+def neighbors_within(
+    positions: Sequence[Tuple[float, float, float]], index: int, cutoff: float
+) -> List[int]:
+    """Indices of points within ``cutoff`` of point ``index`` (exclusive)."""
+    px, py, pz = positions[index]
+    found = []
+    cutoff_sq = cutoff * cutoff
+    for j, (qx, qy, qz) in enumerate(positions):
+        if j == index:
+            continue
+        dsq = (px - qx) ** 2 + (py - qy) ** 2 + (pz - qz) ** 2
+        if dsq <= cutoff_sq:
+            found.append(j)
+    return found

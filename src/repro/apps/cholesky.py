@@ -1,0 +1,116 @@
+"""Cholesky — sparse supernodal Cholesky factorization (§5.4).
+
+"Locks are used to control access to a global task queue and to
+arbitrate access when simultaneous supernodal modifications attempt to
+modify the same column. No barriers are used."
+
+Sharing pattern reproduced here: a random sparse lower-triangular
+structure is fixed by the seed; processors pull supernode tasks from a
+central queue, read the supernode's columns, and scatter updates into
+later columns under per-column locks. Column data migrates between
+processors according to which one grabbed the updating supernode —
+migratory, lock-controlled sharing like LocusRoute, with zero barriers.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.apps.base import thread_rng
+from repro.common.types import ProcId
+from repro.runtime.dsm import Dsm
+from repro.runtime.program import Program
+from repro.trace.stream import TraceStream
+
+TASK_LOCK = 0
+_COLUMN_LOCK_BASE = 1
+
+
+def generate(
+    n_procs: int = 16,
+    seed: int = 0,
+    n_columns: int = 128,
+    column_words: int = 64,
+    fill_degree: int = 6,
+    supernode_span: int = 2,
+) -> TraceStream:
+    """Build a Cholesky trace.
+
+    Args:
+        n_columns: columns of the sparse matrix.
+        column_words: words of numeric data per column.
+        fill_degree: average number of later columns each supernode updates.
+        supernode_span: columns fused per supernode task.
+    """
+    program = Program(n_procs, app="cholesky", seed=seed)
+    program.set_param("columns", n_columns)
+    program.set_param("fill", fill_degree)
+    matrix = program.alloc_words("columns", n_columns * column_words)
+    queue = program.alloc_words("task_queue", 2)
+
+    # The sparsity structure (which later columns a supernode updates) is
+    # program input, fixed by the seed — not shared state.
+    struct_rng = thread_rng(seed, 31337)
+    n_tasks = (n_columns + supernode_span - 1) // supernode_span
+    updates: Dict[int, List[int]] = {}
+    for task in range(n_tasks):
+        first = task * supernode_span
+        last = min(first + supernode_span, n_columns) - 1
+        later = list(range(last + 1, n_columns))
+        count = min(len(later), max(1, fill_degree + struct_rng.randrange(-1, 2)))
+        updates[task] = sorted(struct_rng.sample(later, count)) if later else []
+
+    def column_lock(col: int) -> int:
+        return _COLUMN_LOCK_BASE + col
+
+    def worker(dsm: Dsm, proc: ProcId):
+        rng = thread_rng(seed, proc)
+        while True:
+            yield dsm.acquire(TASK_LOCK)
+            head = yield dsm.read_word(queue, 0)
+            if head < n_tasks:
+                yield dsm.write_word(queue, 0, head + 1)
+            yield dsm.release(TASK_LOCK)
+            if head >= n_tasks:
+                return
+
+            first = head * supernode_span
+            last = min(first + supernode_span, n_columns) - 1
+
+            # cdiv: finalize the supernode's own columns. Only the
+            # sub-diagonal part below the supernode is scaled, so the
+            # write set is a fraction of the column (diffs stay well
+            # below a page, as in the sparse factorization).
+            for col in range(first, last + 1):
+                lock = column_lock(col)
+                yield dsm.acquire(lock)
+                column = yield dsm.read_block(matrix, col * column_words, column_words)
+                pivot = column[0]
+                sub = max(2, column_words // 4)
+                start = min(col % column_words, column_words - sub)
+                yield dsm.write_block(
+                    matrix,
+                    col * column_words + start,
+                    [column[start + k] + pivot + 1 for k in range(sub)],
+                )
+                yield dsm.release(lock)
+
+            # cmod: scatter updates into later columns (arbitrated by
+            # per-column locks — the "simultaneous supernodal
+            # modifications" of the paper).
+            for target in updates[head]:
+                lock = column_lock(target)
+                yield dsm.acquire(lock)
+                # A sparse update touches a random contiguous chunk.
+                chunk = max(2, column_words // fill_degree)
+                offset = rng.randrange(0, column_words - chunk + 1)
+                values = yield dsm.read_block(matrix, target * column_words + offset, chunk)
+                yield dsm.write_block(
+                    matrix,
+                    target * column_words + offset,
+                    [value + 1 for value in values],
+                )
+                yield dsm.release(lock)
+
+    program.spmd(worker)
+    return program.run()

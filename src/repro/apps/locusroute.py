@@ -1,0 +1,170 @@
+"""LocusRoute — a VLSI standard-cell router (§5.3).
+
+"The major data structure is a cost grid for the cell, a cell's cost
+being the number of wires already running through it. Work is allocated
+to processors a wire at a time. Synchronization is accomplished almost
+entirely through locks that protect access to a central task queue" —
+and, in SPLASH LocusRoute, region locks over the cost array.
+
+Sharing pattern reproduced here: a central task queue (head counter under
+one lock) hands out wires; routing a wire evaluates a few candidate
+paths, then rips up and re-records the best one by incrementing cost-grid
+cells under per-region locks. Grid data is therefore *migratory* — it
+moves from lock holder to lock holder — and the contiguous grid layout
+produces false sharing that grows with page size.
+"""
+
+from __future__ import annotations
+
+from repro.apps.base import thread_rng
+from repro.common.types import ProcId
+from repro.runtime.dsm import Dsm
+from repro.runtime.program import Program
+from repro.trace.stream import TraceStream
+
+#: Lock ids. Grid-region locks follow the task lock.
+TASK_LOCK = 0
+_GRID_LOCK_BASE = 1
+
+
+def generate(
+    n_procs: int = 16,
+    seed: int = 0,
+    grid_width: int = 128,
+    grid_height: int = 32,
+    n_wires: int = 128,
+    n_regions: int = 16,
+    candidates: int = 3,
+    iterations: int = 1,
+) -> TraceStream:
+    """Build a LocusRoute trace.
+
+    Args:
+        grid_width, grid_height: cost-grid dimensions (one word per cell).
+        n_wires: wires to route (units of task-queue work).
+        n_regions: grid columns are hashed into this many region locks.
+        candidates: candidate paths evaluated per wire.
+        iterations: routing passes. Real LocusRoute rips up and re-routes
+            wires over several iterations; passes after the first re-route
+            every wire against the now-populated cost grid.
+    """
+    if iterations < 1:
+        raise ValueError(f"iterations must be >= 1, got {iterations}")
+    program = Program(n_procs, app="locusroute", seed=seed)
+    program.set_param("grid", f"{grid_width}x{grid_height}")
+    program.set_param("wires", n_wires)
+    program.set_param("iterations", iterations)
+    grid = program.alloc_words("cost_grid", grid_width * grid_height)
+    queue = program.alloc_words("task_queue", 4 + 2 * n_wires)
+    # Wire endpoints are published in the task queue region at setup time
+    # by processor 0, before the routing phase begins.
+    wire_rng = thread_rng(seed, 9999)
+    wires = [
+        (
+            wire_rng.randrange(grid_width),
+            wire_rng.randrange(grid_height),
+            wire_rng.randrange(grid_width),
+            wire_rng.randrange(grid_height),
+        )
+        for _ in range(n_wires)
+    ]
+
+    def region_lock(x: int) -> int:
+        return _GRID_LOCK_BASE + (x * n_regions) // grid_width
+
+    def cell(x: int, y: int) -> int:
+        return y * grid_width + x
+
+    def path_cells(x0: int, y0: int, x1: int, y1: int, bend_y: int):
+        """An L-shaped route through row ``bend_y``."""
+        cells = []
+        for y in range(min(y0, bend_y), max(y0, bend_y) + 1):
+            cells.append(cell(x0, y))
+        step = 1 if x1 >= x0 else -1
+        for x in range(x0, x1 + step, step):
+            cells.append(cell(x, bend_y))
+        for y in range(min(bend_y, y1), max(bend_y, y1) + 1):
+            cells.append(cell(x1, y))
+        return cells
+
+    def worker(dsm: Dsm, proc: ProcId):
+        rng = thread_rng(seed, proc)
+        # Publish wires once (processor 0) under the task lock so the
+        # setup writes are ordered before every worker's reads.
+        yield dsm.acquire(TASK_LOCK)
+        initialized = yield dsm.read_word(queue, 1)
+        if not initialized:
+            yield dsm.write_word(queue, 1, 1)
+            for i, (x0, y0, x1, y1) in enumerate(wires):
+                yield dsm.write_word(queue, 4 + 2 * i, x0 * 1000 + y0)
+                yield dsm.write_word(queue, 4 + 2 * i + 1, x1 * 1000 + y1)
+        yield dsm.release(TASK_LOCK)
+
+        for iteration in range(iterations):
+            yield from route_pass(dsm, rng)
+            if iteration < iterations - 1:
+                # Rip-up boundary: everyone finishes the pass, processor 0
+                # resets the task queue, and the next pass re-routes.
+                yield dsm.barrier(0)
+                if proc == 0:
+                    yield dsm.acquire(TASK_LOCK)
+                    yield dsm.write_word(queue, 0, 0)
+                    yield dsm.release(TASK_LOCK)
+                yield dsm.barrier(1)
+
+    def route_pass(dsm: Dsm, rng):
+        while True:
+            # Central task queue: grab the next wire.
+            yield dsm.acquire(TASK_LOCK)
+            head = yield dsm.read_word(queue, 0)
+            if head < n_wires:
+                yield dsm.write_word(queue, 0, head + 1)
+            yield dsm.release(TASK_LOCK)
+            if head >= n_wires:
+                return
+
+            start = yield dsm.read_word(queue, 4 + 2 * head)
+            end = yield dsm.read_word(queue, 4 + 2 * head + 1)
+            x0, y0 = divmod(start, 1000)
+            x1, y1 = divmod(end, 1000)
+
+            # Evaluate candidate bends; the cost-grid cells of each path
+            # are read region by region under that region's lock, so the
+            # trace stays race-free and the critical sections are coarse
+            # (a handful of cells per lock, as in SPLASH's region locks).
+            best_cost, best_bend = None, y0
+            for _ in range(candidates):
+                bend = rng.randrange(grid_height)
+                cost = 0
+                by_region = _group_by_region(
+                    path_cells(x0, y0, x1, y1, bend), region_lock, grid_width
+                )
+                for lock in sorted(by_region):
+                    yield dsm.acquire(lock)
+                    for c in by_region[lock]:
+                        cost += yield dsm.read_word(grid, c)
+                    yield dsm.release(lock)
+                if best_cost is None or cost < best_cost:
+                    best_cost, best_bend = cost, bend
+
+            # Record the winning route: increment each cell's cost.
+            by_region = _group_by_region(
+                path_cells(x0, y0, x1, y1, best_bend), region_lock, grid_width
+            )
+            for lock in sorted(by_region):
+                yield dsm.acquire(lock)
+                for c in by_region[lock]:
+                    old = yield dsm.read_word(grid, c)
+                    yield dsm.write_word(grid, c, old + 1)
+                yield dsm.release(lock)
+
+    program.spmd(worker)
+    return program.run()
+
+
+def _group_by_region(cells, region_lock, grid_width: int):
+    """Group path cells by their region lock, preserving path order."""
+    grouped = {}
+    for c in cells:
+        grouped.setdefault(region_lock(c % grid_width), []).append(c)
+    return grouped

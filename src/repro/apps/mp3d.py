@@ -1,0 +1,114 @@
+"""MP3D — rarefied hypersonic flow, Monte-Carlo particle method (§5.5).
+
+"Each timestep involves several barriers, with locks used to control
+access to global event counters." The message traffic "is dominated by
+access misses".
+
+Sharing pattern reproduced here: particles are block-partitioned (each
+processor writes only its own slice — single-writer pages), but every
+move updates the *space cell* the particle lands in. Cells are touched by
+whichever processors' particles fly through them, so cell pages are
+write-shared across the whole machine and re-fetched every timestep —
+the miss-dominated traffic of Figures 9/10. Cell updates are arbitrated
+by a modest set of cell-region locks; global collision counters live
+under one lock; each timestep runs a move phase and a collide phase
+separated by barriers.
+"""
+
+from __future__ import annotations
+
+from repro.apps.base import block_partition, thread_rng
+from repro.common.types import ProcId
+from repro.runtime.dsm import Dsm
+from repro.runtime.program import Program
+from repro.trace.stream import TraceStream
+
+COUNTER_LOCK = 0
+_CELL_LOCK_BASE = 1
+_PARTICLE_WORDS = 8
+_CELL_WORDS = 4
+STEP_BARRIER = 0
+PHASE_BARRIER = 1
+
+
+def generate(
+    n_procs: int = 16,
+    seed: int = 0,
+    n_particles: int = 512,
+    n_cells: int = 256,
+    n_cell_locks: int = 16,
+    timesteps: int = 5,
+) -> TraceStream:
+    """Build an MP3D trace.
+
+    Args:
+        n_particles: particles, block-partitioned over processors.
+        n_cells: space cells (``_CELL_WORDS`` words of state each).
+        n_cell_locks: cells are hashed into this many region locks.
+        timesteps: simulated steps (two barriers each).
+    """
+    program = Program(n_procs, app="mp3d", seed=seed)
+    program.set_param("particles", n_particles)
+    program.set_param("cells", n_cells)
+    program.set_param("steps", timesteps)
+    particles = program.alloc_words("particles", n_particles * _PARTICLE_WORDS)
+    cells = program.alloc_words("cells", n_cells * _CELL_WORDS)
+    counters = program.alloc_words("counters", 4)
+
+    def cell_lock(cell: int) -> int:
+        return _CELL_LOCK_BASE + cell % n_cell_locks
+
+    def worker(dsm: Dsm, proc: ProcId):
+        rng = thread_rng(seed, proc)
+        mine = block_partition(n_particles, n_procs, proc)
+
+        for _step in range(timesteps):
+            # -- move phase: update own particles (single-writer pages),
+            # accumulating per-cell deltas locally; then scatter the
+            # deltas into the shared cell array under the cell-region
+            # locks. Cell pages end up write-shared by every processor —
+            # the miss-dominated traffic of Figures 9/10.
+            collisions = 0
+            cell_delta = {}
+            for particle in mine:
+                base = particle * _PARTICLE_WORDS
+                pos, vel = yield dsm.read_block(particles, base, 2)
+                new_pos = (pos + vel + 1) % (n_cells * 16)
+                yield dsm.write_block(
+                    particles, base, [new_pos, (vel + particle) % 97 + 1]
+                )
+                target = (new_pos // 16) % n_cells
+                count, momentum = cell_delta.get(target, (0, 0))
+                cell_delta[target] = (count + 1, momentum + vel)
+            for target in sorted(cell_delta):
+                count, momentum = cell_delta[target]
+                base = target * _CELL_WORDS
+                yield dsm.acquire(cell_lock(target))
+                occupancy = yield dsm.read_word(cells, base)
+                yield dsm.write_word(cells, base, occupancy + count)
+                old_momentum = yield dsm.read_word(cells, base + 1)
+                yield dsm.write_word(cells, base + 1, old_momentum + momentum)
+                yield dsm.release(cell_lock(target))
+                collisions += occupancy
+            # Global event counter (the paper's counter locks).
+            yield dsm.acquire(COUNTER_LOCK)
+            total = yield dsm.read_word(counters, 0)
+            yield dsm.write_word(counters, 0, total + collisions)
+            yield dsm.release(COUNTER_LOCK)
+            yield dsm.barrier(PHASE_BARRIER)
+
+            # -- collide phase: each processor sweeps its block of cells,
+            # sampling collisions with a Monte-Carlo draw. Barrier-fenced
+            # and partition-disjoint, so no locks are needed.
+            for cell in block_partition(n_cells, n_procs, proc):
+                base = cell * _CELL_WORDS
+                occupancy, momentum = yield dsm.read_block(cells, base, 2)
+                if occupancy > 1 and rng.random() < 0.5:
+                    yield dsm.write_block(
+                        cells, base + 1, [momentum // 2, occupancy * 2]
+                    )
+                yield dsm.write_word(cells, base, 0)
+            yield dsm.barrier(STEP_BARRIER)
+
+    program.spmd(worker)
+    return program.run()

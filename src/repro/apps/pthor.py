@@ -1,0 +1,186 @@
+"""PTHOR — conservative parallel logic simulation (§5.7).
+
+"The major data structures represent logic elements, wires between
+elements, and per-processor work queues. Locks are used to protect
+access to all three types of data structures. Barriers are used only
+when deadlock occurs and all task queues are empty."
+
+"In Pthor, each processor has a set of pages that it modifies. However,
+these pages are also frequently read by the other processors. Under an
+invalidation protocol, this causes a large number of invalidations and
+later reloads." — the single-writer/many-reader pattern behind Figure
+14's EI blow-up and the paper's LI-misses-more-than-LU observation.
+
+Reproduced here: logic elements are *block*-partitioned, so each
+processor's element pages are written only by it and read by every
+consumer of its gates' outputs. Element values are double-buffered by
+simulated time window (a conservative simulator evaluates at safe times):
+window ``w`` writes slot ``(w+1) mod 2`` while readers read slot ``w mod
+2``, and the end-of-window deadlock barrier orders the hand-over — so
+element traffic is lock-free and race-free, and invalidate protocols
+re-fetch every producer page every window. Work queues stay lock-protected
+and migrate between processors; the wire list is read-shared.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.apps.base import block_partition, thread_rng
+from repro.common.types import ProcId
+from repro.runtime.dsm import Dsm
+from repro.runtime.program import Program
+from repro.trace.stream import TraceStream
+
+_QUEUE_LOCK_BASE = 0  # one per processor: 0 .. n_procs-1
+_ELEMENT_WORDS = 8
+_WIRE_WORDS = 2
+_QUEUE_CAP = 64
+DEADLOCK_BARRIER = 0
+
+
+def generate(
+    n_procs: int = 16,
+    seed: int = 0,
+    n_elements: int = 256,
+    fan_in: int = 3,
+    windows: int = 4,
+    activations_per_window: int = 6,
+) -> TraceStream:
+    """Build a PTHOR trace.
+
+    Args:
+        n_elements: logic elements, block-partitioned over processors.
+        fan_in: input wires per element (drawn across the whole circuit).
+        windows: simulated time windows, fenced by deadlock barriers.
+        activations_per_window: seed activations per processor per window.
+    """
+    program = Program(n_procs, app="pthor", seed=seed)
+    program.set_param("elements", n_elements)
+    program.set_param("windows", windows)
+    elements = program.alloc_words("elements", n_elements * _ELEMENT_WORDS)
+    wires = program.alloc_words("wires", n_elements * fan_in * _WIRE_WORDS)
+    queues = program.alloc_words("queues", n_procs * (_QUEUE_CAP + 2))
+
+    # Circuit topology, fixed by the seed. It is also published into the
+    # shared wire list during setup so evaluation reads it through the DSM.
+    topo_rng = thread_rng(seed, 4242)
+    fanin_of: List[List[int]] = [
+        sorted(
+            topo_rng.sample(
+                [e for e in range(n_elements) if e != el], min(fan_in, n_elements - 1)
+            )
+        )
+        for el in range(n_elements)
+    ]
+    fanout_of: List[List[int]] = [[] for _ in range(n_elements)]
+    for el, inputs in enumerate(fanin_of):
+        for source in inputs:
+            fanout_of[source].append(el)
+
+    def owner_of(element: int) -> ProcId:
+        base = n_elements // n_procs
+        extra = n_elements % n_procs
+        # Inverse of block_partition.
+        if element < (base + 1) * extra:
+            return element // (base + 1)
+        return extra + (element - (base + 1) * extra) // base if base else n_procs - 1
+
+    def queue_base(proc: ProcId) -> int:
+        return proc * (_QUEUE_CAP + 2)
+
+    def worker(dsm: Dsm, proc: ProcId):
+        rng = thread_rng(seed, proc)
+        mine = list(block_partition(n_elements, n_procs, proc))
+
+        # Setup: publish the wires of our own elements (read-shared after
+        # the first barrier orders setup before evaluation).
+        for el in mine:
+            for slot, source in enumerate(fanin_of[el]):
+                base = (el * fan_in + slot) * _WIRE_WORDS
+                yield dsm.write_block(wires, base, [source + 1, el + 1])
+        yield dsm.barrier(DEADLOCK_BARRIER)
+
+        for window in range(windows):
+            read_slot = window % 2
+            write_slot = (window + 1) % 2
+
+            # Seed this window's activations into our own queue.
+            yield dsm.acquire(_QUEUE_LOCK_BASE + proc)
+            tail = yield dsm.read_word(queues, queue_base(proc) + 1)
+            for _ in range(min(activations_per_window, len(mine))):
+                element = rng.choice(mine)
+                if tail < _QUEUE_CAP:
+                    yield dsm.write_word(queues, queue_base(proc) + 2 + tail, element + 1)
+                    tail += 1
+            yield dsm.write_word(queues, queue_base(proc) + 1, tail)
+            yield dsm.release(_QUEUE_LOCK_BASE + proc)
+
+            # Drain the queue. The evaluation budget bounds each window
+            # (real PTHOR bounds work by simulated time).
+            evals = 0
+            eval_budget = 4 * activations_per_window
+            while True:
+                yield dsm.acquire(_QUEUE_LOCK_BASE + proc)
+                head = yield dsm.read_word(queues, queue_base(proc))
+                tail = yield dsm.read_word(queues, queue_base(proc) + 1)
+                if head >= tail:
+                    yield dsm.write_word(queues, queue_base(proc), 0)
+                    yield dsm.write_word(queues, queue_base(proc) + 1, 0)
+                    yield dsm.release(_QUEUE_LOCK_BASE + proc)
+                    break
+                task = yield dsm.read_word(queues, queue_base(proc) + 2 + head)
+                yield dsm.write_word(queues, queue_base(proc), head + 1)
+                yield dsm.release(_QUEUE_LOCK_BASE + proc)
+                element = task - 1
+
+                # Evaluate: read the wire list and the fan-in elements'
+                # last-window outputs (pages their owners write — the
+                # single-writer/many-reader traffic), then write our
+                # element's next-window slot. Double buffering plus the
+                # window barrier makes all of this race-free without
+                # element locks.
+                value = 0
+                for slot in range(len(fanin_of[element])):
+                    wire = yield dsm.read_block(
+                        wires, (element * fan_in + slot) * _WIRE_WORDS, _WIRE_WORDS
+                    )
+                    source = wire[0] - 1
+                    out = yield dsm.read_word(
+                        elements, source * _ELEMENT_WORDS + read_slot
+                    )
+                    value ^= out + source
+                old = yield dsm.read_word(
+                    elements, element * _ELEMENT_WORDS + write_slot
+                )
+                yield dsm.write_block(
+                    elements,
+                    element * _ELEMENT_WORDS + write_slot,
+                    [value + 1],
+                )
+                yield dsm.write_block(
+                    elements, element * _ELEMENT_WORDS + 2, [evals + 1, proc + 1]
+                )
+
+                evals += 1
+                # Schedule fanout activations into the owners' queues.
+                if old != value and evals < eval_budget:
+                    for target in fanout_of[element][:2]:
+                        towner = owner_of(target)
+                        if towner == proc:
+                            continue
+                        yield dsm.acquire(_QUEUE_LOCK_BASE + towner)
+                        ttail = yield dsm.read_word(queues, queue_base(towner) + 1)
+                        thead = yield dsm.read_word(queues, queue_base(towner))
+                        if ttail < _QUEUE_CAP and (ttail - thead) < 8:
+                            yield dsm.write_word(
+                                queues, queue_base(towner) + 2 + ttail, target + 1
+                            )
+                            yield dsm.write_word(queues, queue_base(towner) + 1, ttail + 1)
+                        yield dsm.release(_QUEUE_LOCK_BASE + towner)
+
+            # All queues empty: the deadlock barrier advances the window.
+            yield dsm.barrier(DEADLOCK_BARRIER)
+
+    program.spmd(worker)
+    return program.run()

@@ -1,0 +1,200 @@
+"""Parametric synthetic sharing patterns.
+
+These isolate the individual phenomena the paper's analysis invokes —
+migratory lock-controlled data (Figure 3/4's scenario), pure false
+sharing, producer/consumer pages, barrier-phased private work — with one
+knob each, for unit tests and the ablation benches.
+"""
+
+from __future__ import annotations
+
+from repro.apps.base import block_partition, thread_rng
+from repro.common.types import ProcId, WORD_SIZE
+from repro.runtime.dsm import Dsm
+from repro.runtime.program import Program
+from repro.trace.stream import TraceStream
+
+
+def migratory(
+    n_procs: int = 4,
+    seed: int = 0,
+    rounds: int = 16,
+    n_items: int = 1,
+    item_words: int = 8,
+) -> TraceStream:
+    """The Figure 3/4 pattern: items handed around under their locks.
+
+    Every processor repeatedly acquires an item's lock, reads and writes
+    the item, and releases — so the item's data always moves to the next
+    lock holder, and to nobody else under a lazy protocol.
+    """
+    program = Program(n_procs, app="synthetic-migratory", seed=seed)
+    program.set_param("rounds", rounds)
+    items = program.alloc_words("items", n_items * item_words)
+
+    def worker(dsm: Dsm, proc: ProcId):
+        rng = thread_rng(seed, proc)
+        for _round in range(rounds):
+            item = rng.randrange(n_items)
+            yield dsm.acquire(item)
+            base = item * item_words
+            total = 0
+            for w in range(item_words):
+                total += yield dsm.read_word(items, base + w)
+            for w in range(item_words):
+                yield dsm.write_word(items, base + w, total + proc + 1)
+            yield dsm.release(item)
+
+    program.spmd(worker)
+    return program.run()
+
+
+def false_sharing(
+    n_procs: int = 4,
+    seed: int = 0,
+    rounds: int = 24,
+    words_per_proc: int = 4,
+    spread_bytes: int = 0,
+) -> TraceStream:
+    """Dialable false sharing: per-processor counters packed together.
+
+    Each processor increments only its own ``words_per_proc`` counters —
+    the counter region has no true sharing at all — but with
+    ``spread_bytes == 0`` all counters share pages once pages are large
+    enough. The only synchronization is a once-per-round pairwise lock
+    exchange with a neighbour (a separate, truly-shared cell), so
+    processors that falsely share pages are mostly *not* causally related
+    — the situation of §5.8. Eager protocols push counter-page traffic to
+    every cacher at each of those releases; lazy protocols move only what
+    the thin causal chains require. Raising ``spread_bytes`` pads the
+    blocks apart, dissolving the false sharing once the padding exceeds
+    the page size.
+    """
+    program = Program(n_procs, app="synthetic-false-sharing", seed=seed)
+    program.set_param("spread", spread_bytes)
+    block = max(words_per_proc * WORD_SIZE, spread_bytes)
+    counters = program.alloc("counters", n_procs * block)
+    # Exchange cells sit 8K apart so they never share a page with each
+    # other (or the counters) at any swept page size — the counter region
+    # is the only source of false sharing in this workload.
+    exchange_stride = 8192
+    exchange = program.alloc("exchange", max(n_procs, 1) * exchange_stride, align=exchange_stride)
+
+    def exchange_word(lock: int) -> int:
+        return lock * (exchange_stride // WORD_SIZE)
+
+    def base_word(proc: ProcId) -> int:
+        return proc * block // WORD_SIZE
+
+    def worker(dsm: Dsm, proc: ProcId):
+        for round_ in range(rounds):
+            # Private work on own counters (falsely shared pages).
+            for w in range(words_per_proc):
+                index = base_word(proc) + w
+                old = yield dsm.read_word(counters, index)
+                yield dsm.write_word(counters, index, old + 1)
+            if n_procs == 1:
+                continue
+            # Rare true sharing: an even/odd pairwise exchange with one
+            # neighbour. Lock ``i`` pairs processors i and (i+1) mod n.
+            if (proc + round_) % 2 == 0:
+                lock = proc
+            else:
+                lock = (proc - 1) % n_procs
+            yield dsm.acquire(lock)
+            value = yield dsm.read_word(exchange, exchange_word(lock))
+            yield dsm.write_word(exchange, exchange_word(lock), value + 1)
+            yield dsm.release(lock)
+
+    program.spmd(worker)
+    return program.run()
+
+
+def producer_consumer(
+    n_procs: int = 4,
+    seed: int = 0,
+    rounds: int = 16,
+    payload_words: int = 16,
+) -> TraceStream:
+    """Single-writer pages read by everyone (the PTHOR pattern).
+
+    Processor 0 produces a payload under a lock; every other processor
+    acquires the lock and reads it. Invalidate protocols re-fetch the
+    payload's pages for every consumer; update protocols push once per
+    cacher.
+    """
+    program = Program(n_procs, app="synthetic-producer-consumer", seed=seed)
+    payload = program.alloc_words("payload", payload_words)
+    LOCK = 0
+
+    def worker(dsm: Dsm, proc: ProcId):
+        for round_ in range(rounds):
+            if proc == 0:
+                yield dsm.acquire(LOCK)
+                for w in range(payload_words):
+                    yield dsm.write_word(payload, w, round_ * 1000 + w)
+                yield dsm.release(LOCK)
+            yield dsm.barrier(0)
+            if proc != 0:
+                yield dsm.acquire(LOCK)
+                total = 0
+                for w in range(payload_words):
+                    total += yield dsm.read_word(payload, w)
+                yield dsm.release(LOCK)
+            yield dsm.barrier(1)
+
+    program.spmd(worker)
+    return program.run()
+
+
+def barrier_phases(
+    n_procs: int = 4,
+    seed: int = 0,
+    phases: int = 8,
+    words_per_proc: int = 32,
+) -> TraceStream:
+    """Barrier-separated private work with a shared reduction.
+
+    Each phase: every processor updates its own block (no sharing), then
+    all blocks are read by a rotating reader after a barrier — the
+    barrier-dominated category (MP3D/Water) in miniature.
+    """
+    program = Program(n_procs, app="synthetic-barrier", seed=seed)
+    data = program.alloc_words("blocks", n_procs * words_per_proc)
+
+    def worker(dsm: Dsm, proc: ProcId):
+        for phase in range(phases):
+            base = proc * words_per_proc
+            for w in range(words_per_proc):
+                old = yield dsm.read_word(data, base + w)
+                yield dsm.write_word(data, base + w, old + phase + 1)
+            yield dsm.barrier(0)
+            # Rotating reader sweeps every block.
+            if phase % n_procs == proc:
+                total = 0
+                for w in range(n_procs * words_per_proc):
+                    total += yield dsm.read_word(data, w)
+            yield dsm.barrier(1)
+
+    program.spmd(worker)
+    return program.run()
+
+
+def single_lock_chain(
+    n_procs: int = 4,
+    seed: int = 0,
+    rounds: int = 8,
+) -> TraceStream:
+    """The exact Figure 3/4 microbenchmark: one lock, one shared word."""
+    program = Program(n_procs, app="lock-chain", seed=seed)
+    shared = program.alloc_words("x", 1)
+
+    def worker(dsm: Dsm, proc: ProcId):
+        for _round in range(rounds):
+            yield dsm.acquire(0)
+            value = yield dsm.read_word(shared, 0)
+            yield dsm.write_word(shared, 0, value + 1)
+            yield dsm.release(0)
+
+    program.spmd(worker)
+    return program.run()

@@ -1,0 +1,120 @@
+"""Water — N-body molecular dynamics of liquid water (§5.6).
+
+"At each timestep, every molecule's velocity and potential is computed
+from the influences of other molecules within a spherical cutoff range.
+Several barriers are used to synchronize each timestep, while locks are
+used to control access to a global running sum and to each molecule's
+force sum." Of the five programs it communicates least.
+
+Sharing pattern reproduced here: molecule positions are read-shared
+during the force phase (every processor reads its neighbours' positions);
+force accumulation into another molecule's record takes that molecule's
+lock; a global potential sum takes the global lock; the position update
+phase writes only the processor's own block. Timesteps are fenced with
+barriers.
+"""
+
+from __future__ import annotations
+
+from repro.apps.base import block_partition, neighbors_within, thread_rng
+from repro.common.types import ProcId
+from repro.runtime.dsm import Dsm
+from repro.runtime.program import Program
+from repro.trace.stream import TraceStream
+
+GLOBAL_SUM_LOCK = 0
+_MOLECULE_LOCK_BASE = 1
+#: Per-molecule record: position x/y/z, force x/y/z, velocity x/y/z.
+_MOL_WORDS = 16
+FORCE_BARRIER = 0
+UPDATE_BARRIER = 1
+
+
+def generate(
+    n_procs: int = 16,
+    seed: int = 0,
+    n_molecules: int = 224,
+    timesteps: int = 3,
+    cutoff: float = 0.25,
+    box: float = 1.0,
+) -> TraceStream:
+    """Build a Water trace.
+
+    Args:
+        n_molecules: molecules, block-partitioned over processors.
+        timesteps: simulated steps (two barriers each).
+        cutoff: interaction radius (fraction of the unit box).
+    """
+    program = Program(n_procs, app="water", seed=seed)
+    program.set_param("molecules", n_molecules)
+    program.set_param("steps", timesteps)
+    molecules = program.alloc_words("molecules", n_molecules * _MOL_WORDS)
+    global_sum = program.alloc_words("global_sum", 2)
+
+    # Initial geometry is program input, fixed by the seed. The neighbour
+    # lists derived from it decide which remote positions get read.
+    geo_rng = thread_rng(seed, 777)
+    positions = [
+        (geo_rng.random() * box, geo_rng.random() * box, geo_rng.random() * box)
+        for _ in range(n_molecules)
+    ]
+    neighbour_list = [
+        neighbors_within(positions, i, cutoff) for i in range(n_molecules)
+    ]
+
+    def molecule_lock(mol: int) -> int:
+        return _MOLECULE_LOCK_BASE + mol
+
+    def worker(dsm: Dsm, proc: ProcId):
+        mine = block_partition(n_molecules, n_procs, proc)
+
+        for _step in range(timesteps):
+            # -- force phase: read neighbour positions (read-shared, no
+            # locks needed — positions only change in the barrier-fenced
+            # update phase), accumulate pair forces locally, then add the
+            # accumulated contribution into each touched molecule's force
+            # sum under that molecule's lock (§5.6).
+            potential = 0
+            local_force = {}
+            for mol in mine:
+                base = mol * _MOL_WORDS
+                own = yield dsm.read_block(molecules, base, 3)
+                for other in neighbour_list[mol]:
+                    if other <= mol:
+                        continue  # each pair computed once (owner of lower id)
+                    theirs = yield dsm.read_block(molecules, other * _MOL_WORDS, 3)
+                    pair_force = (own[0] - theirs[0]) + (own[1] - theirs[1]) + 1
+                    potential += abs(pair_force)
+                    local_force[mol] = local_force.get(mol, 0) + pair_force
+                    local_force[other] = local_force.get(other, 0) - pair_force
+            for mol in sorted(local_force):
+                base = mol * _MOL_WORDS
+                yield dsm.acquire(molecule_lock(mol))
+                force = yield dsm.read_word(molecules, base + 3)
+                yield dsm.write_word(molecules, base + 3, force + local_force[mol])
+                yield dsm.release(molecule_lock(mol))
+            # Global running sum of the potential energy.
+            yield dsm.acquire(GLOBAL_SUM_LOCK)
+            total = yield dsm.read_word(global_sum, 0)
+            yield dsm.write_word(global_sum, 0, total + potential)
+            yield dsm.release(GLOBAL_SUM_LOCK)
+            yield dsm.barrier(FORCE_BARRIER)
+
+            # -- update phase: integrate own molecules. Single writer and
+            # barrier-fenced, so no locks are needed here.
+            for mol in mine:
+                base = mol * _MOL_WORDS
+                force = yield dsm.read_word(molecules, base + 3)
+                pos = yield dsm.read_block(molecules, base, 3)
+                vel = yield dsm.read_block(molecules, base + 6, 3)
+                yield dsm.write_block(
+                    molecules, base + 6, [v + force for v in vel]
+                )
+                yield dsm.write_block(
+                    molecules, base, [p + v + force for p, v in zip(pos, vel)]
+                )
+                yield dsm.write_word(molecules, base + 3, 0)
+            yield dsm.barrier(UPDATE_BARRIER)
+
+    program.spmd(worker)
+    return program.run()

@@ -1,0 +1,279 @@
+"""Command-line interface: ``lrc-sim`` / ``python -m repro.cli``.
+
+Subcommands::
+
+    run      simulate one app under one protocol at one page size
+    sweep    regenerate one app's messages/data figures
+    figures  regenerate every evaluation figure (Figures 5-14)
+    table1   validate the per-operation message-cost table
+    trace    generate and save an application trace
+    stats    sharing analysis of a trace at a page size
+    check    simulate and audit release consistency end-to-end
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.analysis.checker import check_protocol
+from repro.analysis.report import format_figure_table, format_table1
+from repro.analysis.sharing import analyze_sharing
+from repro.apps import APPS, generate
+from repro.experiments.figures import FIGURES, run_figure
+from repro.experiments.table1 import run_table1
+from repro.protocols.registry import all_protocol_names, protocol_names
+from repro.simulator.timing import TimingModel, estimate_runtime
+from repro.simulator.config import PAPER_PAGE_SIZES
+from repro.simulator.engine import simulate
+from repro.trace.codec import load_trace, save_trace
+
+
+def _add_workload_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--app", choices=sorted(APPS), default="locusroute")
+    parser.add_argument("--n-procs", type=int, default=16)
+    parser.add_argument("--seed", type=int, default=0)
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="lrc-sim",
+        description="Lazy release consistency protocol simulator (ISCA 1992 reproduction)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    run_p = sub.add_parser("run", help="simulate one configuration")
+    _add_workload_args(run_p)
+    run_p.add_argument("--protocol", choices=protocol_names(), default="LI")
+    run_p.add_argument("--page-size", type=int, default=4096)
+    run_p.add_argument("--trace-file", help="replay a saved trace instead of generating")
+
+    sweep_p = sub.add_parser("sweep", help="one app across protocols and page sizes")
+    _add_workload_args(sweep_p)
+    sweep_p.add_argument(
+        "--page-sizes", type=int, nargs="+", default=list(PAPER_PAGE_SIZES)
+    )
+
+    figures_p = sub.add_parser("figures", help="regenerate Figures 5-14")
+    figures_p.add_argument("--apps", nargs="+", choices=sorted(APPS), default=sorted(APPS))
+    figures_p.add_argument("--n-procs", type=int, default=16)
+    figures_p.add_argument("--seed", type=int, default=0)
+
+    sub.add_parser("table1", help="validate per-operation message costs")
+
+    trace_p = sub.add_parser("trace", help="generate and save a trace")
+    _add_workload_args(trace_p)
+    trace_p.add_argument("--out", required=True, help=".trc (text) or .trcb (binary)")
+
+    stats_p = sub.add_parser("stats", help="sharing analysis of an app trace")
+    _add_workload_args(stats_p)
+    stats_p.add_argument("--page-size", type=int, default=4096)
+
+    check_p = sub.add_parser("check", help="audit release consistency end-to-end")
+    _add_workload_args(check_p)
+    check_p.add_argument("--protocol", choices=all_protocol_names(), default="LI")
+    check_p.add_argument("--page-size", type=int, default=1024)
+
+    compare_p = sub.add_parser(
+        "compare", help="all protocols (incl. the EW/Ivy baseline) + runtime estimate"
+    )
+    _add_workload_args(compare_p)
+    compare_p.add_argument("--page-size", type=int, default=4096)
+    compare_p.add_argument(
+        "--era",
+        choices=("1992", "modern"),
+        default="1992",
+        help="timing-model constants for the runtime estimate",
+    )
+
+    export_p = sub.add_parser("export", help="write all figures + Table 1 as CSV/JSON")
+    export_p.add_argument("--out", required=True, help="output directory")
+    export_p.add_argument("--apps", nargs="+", choices=sorted(APPS), default=sorted(APPS))
+    export_p.add_argument("--n-procs", type=int, default=16)
+    export_p.add_argument("--seed", type=int, default=0)
+
+    locks_p = sub.add_parser("locks", help="lock-pattern analysis of an app trace")
+    _add_workload_args(locks_p)
+
+    mstats_p = sub.add_parser(
+        "mstats", help="distribution of Table 1's m/h terms for a lazy protocol"
+    )
+    _add_workload_args(mstats_p)
+    mstats_p.add_argument("--protocol", choices=["LI", "LU", "LH"], default="LI")
+    mstats_p.add_argument("--page-size", type=int, default=4096)
+
+    chart_p = sub.add_parser("chart", help="render one app's figures as text charts")
+    _add_workload_args(chart_p)
+    chart_p.add_argument(
+        "--page-sizes", type=int, nargs="+", default=list(PAPER_PAGE_SIZES)
+    )
+
+    timeline_p = sub.add_parser("timeline", help="traffic-over-time sparklines")
+    _add_workload_args(timeline_p)
+    timeline_p.add_argument("--page-size", type=int, default=4096)
+    timeline_p.add_argument(
+        "--protocols", nargs="+", choices=all_protocol_names(), default=["LI", "EU"]
+    )
+
+    return parser
+
+
+def _cmd_run(args) -> int:
+    if args.trace_file:
+        trace = load_trace(args.trace_file)
+    else:
+        trace = generate(args.app, n_procs=args.n_procs, seed=args.seed)
+    result = simulate(trace, args.protocol, page_size=args.page_size)
+    print(result.summary_row())
+    for category, count in result.category_messages().items():
+        data = result.category_data_bytes()[category] / 1024
+        print(f"  {category:<8} messages={count:<10} data={data:.1f}kB")
+    return 0
+
+
+def _cmd_sweep(args) -> int:
+    trace = generate(args.app, n_procs=args.n_procs, seed=args.seed)
+    sweep = run_figure(args.app, page_sizes=args.page_sizes, trace=trace)
+    spec = FIGURES[args.app]
+    print(format_figure_table(sweep, f"Figure {spec.messages_figure}", "messages"))
+    print()
+    print(format_figure_table(sweep, f"Figure {spec.data_figure}", "data"))
+    return 0
+
+
+def _cmd_figures(args) -> int:
+    for app in args.apps:
+        sweep = run_figure(app, n_procs=args.n_procs, seed=args.seed)
+        spec = FIGURES[app]
+        print(format_figure_table(sweep, f"Figure {spec.messages_figure}", "messages"))
+        print()
+        print(format_figure_table(sweep, f"Figure {spec.data_figure}", "data"))
+        print()
+    return 0
+
+
+def _cmd_table1(args) -> int:
+    rows = run_table1()
+    failures = 0
+    print(f"{'':<5}{'proto':<6}{'operation':<10}{'params':<22}{'sim':>6}{'model':>7}")
+    for row in rows:
+        mark = "ok" if row.ok else "FAIL"
+        failures += 0 if row.ok else 1
+        print(
+            f"{mark:<5}{row.protocol:<6}{row.operation:<10}{row.params:<22}"
+            f"{row.simulated:>6}{row.analytical:>7}"
+        )
+    print(f"{len(rows) - failures}/{len(rows)} cells match the analytical model")
+    return 1 if failures else 0
+
+
+def _cmd_trace(args) -> int:
+    trace = generate(args.app, n_procs=args.n_procs, seed=args.seed)
+    save_trace(trace, args.out)
+    print(f"saved {trace!r} -> {args.out}")
+    return 0
+
+
+def _cmd_stats(args) -> int:
+    trace = generate(args.app, n_procs=args.n_procs, seed=args.seed)
+    print(analyze_sharing(trace, args.page_size).format())
+    return 0
+
+
+def _cmd_check(args) -> int:
+    trace = generate(args.app, n_procs=args.n_procs, seed=args.seed)
+    report = check_protocol(trace, args.protocol, page_size=args.page_size)
+    print(
+        f"{args.app} under {args.protocol} @ {args.page_size}B: "
+        f"{report.reads_checked} reads verified, {report.reads_racy} racy reads skipped"
+    )
+    return 0
+
+
+def _cmd_compare(args) -> int:
+    trace = generate(args.app, n_procs=args.n_procs, seed=args.seed)
+    model = (
+        TimingModel.ethernet_1992() if args.era == "1992" else TimingModel.modern_cluster()
+    )
+    print(f"{args.app}, {args.n_procs} processors, {args.page_size}-byte pages:")
+    for protocol in all_protocol_names():
+        result = simulate(trace, protocol, page_size=args.page_size)
+        estimate = estimate_runtime(result, model)
+        print(
+            f"  {protocol:<3} msgs={result.messages:<9} data={result.data_kbytes:>9.1f}kB "
+            f"misses={result.misses:<7} est={estimate.total_seconds:>8.3f}s"
+        )
+    return 0
+
+
+def _cmd_export(args) -> int:
+    from repro.experiments.export import export_all
+
+    manifest = export_all(args.out, apps=args.apps, n_procs=args.n_procs, seed=args.seed)
+    print(f"wrote {len(manifest['files'])} files to {args.out}")
+    return 0
+
+
+def _cmd_locks(args) -> int:
+    from repro.analysis.locks import analyze_locks
+
+    trace = generate(args.app, n_procs=args.n_procs, seed=args.seed)
+    print(analyze_locks(trace).format())
+    return 0
+
+
+def _cmd_mstats(args) -> int:
+    from repro.analysis.protocol_stats import instrumented_run
+
+    trace = generate(args.app, n_procs=args.n_procs, seed=args.seed)
+    print(instrumented_run(trace, args.protocol, page_size=args.page_size).format())
+    return 0
+
+
+def _cmd_chart(args) -> int:
+    from repro.analysis.charts import render_sweep_chart
+
+    trace = generate(args.app, n_procs=args.n_procs, seed=args.seed)
+    sweep = run_figure(args.app, page_sizes=args.page_sizes, trace=trace)
+    print(render_sweep_chart(sweep, "messages"))
+    print()
+    print(render_sweep_chart(sweep, "data"))
+    return 0
+
+
+def _cmd_timeline(args) -> int:
+    from repro.analysis.timeline import message_timeline
+
+    trace = generate(args.app, n_procs=args.n_procs, seed=args.seed)
+    print(f"{args.app}: message traffic over the execution ({len(trace)} events)")
+    for protocol in args.protocols:
+        timeline = message_timeline(trace, protocol, page_size=args.page_size)
+        print("  " + timeline.format())
+    return 0
+
+
+_COMMANDS = {
+    "run": _cmd_run,
+    "sweep": _cmd_sweep,
+    "figures": _cmd_figures,
+    "table1": _cmd_table1,
+    "trace": _cmd_trace,
+    "stats": _cmd_stats,
+    "check": _cmd_check,
+    "compare": _cmd_compare,
+    "export": _cmd_export,
+    "locks": _cmd_locks,
+    "mstats": _cmd_mstats,
+    "chart": _cmd_chart,
+    "timeline": _cmd_timeline,
+}
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    return _COMMANDS[args.command](args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,53 @@
+"""Common substrate: typed identifiers, errors, address arithmetic, vector clocks.
+
+Everything else in :mod:`repro` builds on the small, dependency-free pieces
+defined here.
+"""
+
+from repro.common.errors import (
+    ReproError,
+    ConfigError,
+    ProtocolError,
+    TraceError,
+    RuntimeDeadlockError,
+    ConsistencyViolation,
+)
+from repro.common.types import (
+    ProcId,
+    PageId,
+    LockId,
+    BarrierId,
+    Addr,
+    WORD_SIZE,
+    page_of,
+    page_offset,
+    word_index,
+    words_in_range,
+    align_down,
+    align_up,
+    is_power_of_two,
+)
+from repro.common.vector_clock import VectorClock
+
+__all__ = [
+    "ReproError",
+    "ConfigError",
+    "ProtocolError",
+    "TraceError",
+    "RuntimeDeadlockError",
+    "ConsistencyViolation",
+    "ProcId",
+    "PageId",
+    "LockId",
+    "BarrierId",
+    "Addr",
+    "WORD_SIZE",
+    "page_of",
+    "page_offset",
+    "word_index",
+    "words_in_range",
+    "align_down",
+    "align_up",
+    "is_power_of_two",
+    "VectorClock",
+]

@@ -1,0 +1,43 @@
+"""Exception hierarchy for the LRC reproduction.
+
+All library errors derive from :class:`ReproError` so callers can catch one
+base class. Subclasses mark which subsystem failed.
+"""
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this library."""
+
+
+class ConfigError(ReproError):
+    """An invalid simulation, protocol, or workload configuration."""
+
+
+class ProtocolError(ReproError):
+    """A protocol-internal invariant was violated.
+
+    Raised when a coherence protocol reaches a state its specification
+    forbids (e.g. a diff request for an interval that never modified the
+    page). These indicate bugs, not user errors.
+    """
+
+
+class TraceError(ReproError):
+    """A malformed or ill-ordered trace (bad event, codec failure, ...)."""
+
+
+class RuntimeDeadlockError(ReproError):
+    """The deterministic runtime found no runnable thread.
+
+    Raised by :mod:`repro.runtime` when every live thread is blocked on a
+    lock or barrier — an application-level deadlock.
+    """
+
+
+class ConsistencyViolation(ReproError):
+    """The consistency checker observed a read returning a stale value.
+
+    Raised by :mod:`repro.analysis.checker` when a read in a properly
+    labeled trace does not return the happened-before-latest write, i.e.
+    a protocol implementation failed release consistency.
+    """

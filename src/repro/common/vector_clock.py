@@ -1,0 +1,124 @@
+"""Vector timestamps over processor intervals (Mattern-style virtual time).
+
+The LRC paper (§4.2) assigns every interval ``i`` of processor ``p`` a
+vector timestamp ``V_p(i)`` with one entry per processor: the entry for
+``p`` is ``i`` itself; the entry for ``q != p`` is the most recent interval
+of ``q`` that has *performed at* ``p``. Comparing vector clocks decides the
+happened-before-1 partial order between intervals.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, List, Tuple
+
+from repro.common.types import ProcId
+
+
+class VectorClock:
+    """An immutable-by-convention vector of per-processor interval indices.
+
+    Entries start at ``-1`` meaning "no interval of that processor has
+    performed here yet" (interval indices are zero-based).
+    """
+
+    __slots__ = ("_entries",)
+
+    def __init__(self, entries: Iterable[int]):
+        self._entries: List[int] = list(entries)
+        if not self._entries:
+            raise ValueError("a vector clock needs at least one entry")
+
+    @classmethod
+    def zero(cls, n_procs: int) -> "VectorClock":
+        """A clock that dominates nothing: every entry is -1."""
+        if n_procs <= 0:
+            raise ValueError(f"n_procs must be positive, got {n_procs}")
+        return cls([-1] * n_procs)
+
+    # -- accessors ---------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __getitem__(self, proc: ProcId) -> int:
+        return self._entries[proc]
+
+    def __iter__(self) -> Iterator[int]:
+        return iter(self._entries)
+
+    def entries(self) -> Tuple[int, ...]:
+        """The entries as an immutable tuple."""
+        return tuple(self._entries)
+
+    # -- comparison (partial order) ----------------------------------------
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, VectorClock):
+            return NotImplemented
+        return self._entries == other._entries
+
+    def __hash__(self) -> int:
+        return hash(tuple(self._entries))
+
+    def dominates(self, other: "VectorClock") -> bool:
+        """True if every entry of ``self`` is >= the matching entry of ``other``.
+
+        ``a.dominates(b)`` with ``a != b`` means every interval visible at
+        ``b`` is also visible at ``a`` (``b`` happened before ``a``).
+        """
+        self._check_compatible(other)
+        return all(a >= b for a, b in zip(self._entries, other._entries))
+
+    def strictly_dominates(self, other: "VectorClock") -> bool:
+        """``dominates`` and differs in at least one entry."""
+        return self.dominates(other) and self._entries != other._entries
+
+    def concurrent_with(self, other: "VectorClock") -> bool:
+        """Neither clock dominates the other."""
+        return not self.dominates(other) and not other.dominates(self)
+
+    # -- derivation ---------------------------------------------------------
+
+    def advanced(self, proc: ProcId, index: int) -> "VectorClock":
+        """A copy with ``proc``'s entry set to ``index``.
+
+        ``index`` must not move backwards; vector clocks are monotonic.
+        """
+        if index < self._entries[proc]:
+            raise ValueError(
+                f"clock entry for p{proc} may not go backwards "
+                f"({self._entries[proc]} -> {index})"
+            )
+        entries = list(self._entries)
+        entries[proc] = index
+        return VectorClock(entries)
+
+    def merged(self, other: "VectorClock") -> "VectorClock":
+        """The pointwise maximum of two clocks (join in the lattice)."""
+        self._check_compatible(other)
+        return VectorClock(max(a, b) for a, b in zip(self._entries, other._entries))
+
+    def missing_from(self, other: "VectorClock") -> List[Tuple[ProcId, int, int]]:
+        """Intervals known to ``self`` but not to ``other``.
+
+        Returns ``(proc, first_index, last_index)`` triples: for each
+        processor whose entry in ``self`` exceeds that in ``other``, the
+        inclusive range of interval indices ``other`` has not seen. This is
+        exactly the set of write notices a releaser must send an acquirer.
+        """
+        self._check_compatible(other)
+        gaps: List[Tuple[ProcId, int, int]] = []
+        for proc, (mine, theirs) in enumerate(zip(self._entries, other._entries)):
+            if mine > theirs:
+                gaps.append((proc, theirs + 1, mine))
+        return gaps
+
+    def _check_compatible(self, other: "VectorClock") -> None:
+        if len(self._entries) != len(other._entries):
+            raise ValueError(
+                f"incompatible vector clocks: {len(self._entries)} vs "
+                f"{len(other._entries)} entries"
+            )
+
+    def __repr__(self) -> str:
+        return f"VectorClock({self._entries!r})"

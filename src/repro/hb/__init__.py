@@ -1,0 +1,15 @@
+"""Happened-before substrate: intervals, write notices, hb-order queries.
+
+LRC divides each processor's execution into *intervals*, one per special
+access (§4.2). Intervals carry vector timestamps; the happened-before-1
+partial order between intervals is decided by comparing those timestamps.
+*Write notices* — (creator, interval, page) triples — announce that a page
+was modified in an interval without carrying the modification itself.
+"""
+
+from repro.hb.interval import Interval, IntervalId
+from repro.hb.write_notice import WriteNotice
+from repro.hb.store import IntervalStore
+from repro.hb.graph import HbGraph
+
+__all__ = ["Interval", "IntervalId", "WriteNotice", "IntervalStore", "HbGraph"]

@@ -1,0 +1,66 @@
+"""The interval store: every closed interval, keyed by (creator, index).
+
+In a real DSM each processor retains its own intervals and diffs (the
+paper assumes infinite memory, §5.1; garbage collection came later, in
+TreadMarks). In the simulator a single store holds them all; protocol
+code only ever *reads* intervals it has legitimately learned about
+through write notices, and diff payloads are charged to the network when
+they are fetched from their creators.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List
+
+from repro.common.types import PageId, ProcId
+from repro.hb.interval import Interval, IntervalId
+
+
+class IntervalStore:
+    """All closed intervals of a simulation run."""
+
+    def __init__(self, n_procs: int):
+        self.n_procs = n_procs
+        self._by_proc: Dict[ProcId, List[Interval]] = {p: [] for p in range(n_procs)}
+
+    def add(self, interval: Interval) -> None:
+        """Register a newly closed interval; indices must be dense per proc."""
+        existing = self._by_proc[interval.proc]
+        if interval.index != len(existing):
+            raise ValueError(
+                f"interval p{interval.proc}.i{interval.index} out of order; "
+                f"expected index {len(existing)}"
+            )
+        self._by_proc[interval.proc].append(interval)
+
+    def get(self, interval_id: IntervalId) -> Interval:
+        proc, index = interval_id
+        intervals = self._by_proc[proc]
+        if not 0 <= index < len(intervals):
+            raise KeyError(f"unknown interval p{proc}.i{index}")
+        return intervals[index]
+
+    def latest_index(self, proc: ProcId) -> int:
+        """Index of ``proc``'s most recent closed interval, or -1."""
+        return len(self._by_proc[proc]) - 1
+
+    def intervals_of(self, proc: ProcId, first: int, last: int) -> List[Interval]:
+        """Closed intervals ``first..last`` (inclusive) of ``proc``."""
+        intervals = self._by_proc[proc]
+        if first < 0 or last >= len(intervals):
+            raise KeyError(
+                f"interval range p{proc}.i{first}..i{last} outside "
+                f"[0, {len(intervals)})"
+            )
+        return intervals[first : last + 1]
+
+    def modifying_intervals(self, proc: ProcId, page: PageId, first: int, last: int) -> List[Interval]:
+        """Intervals of ``proc`` in ``first..last`` that modified ``page``."""
+        return [iv for iv in self.intervals_of(proc, first, last) if page in iv.diffs]
+
+    def __iter__(self) -> Iterator[Interval]:
+        for intervals in self._by_proc.values():
+            yield from intervals
+
+    def __len__(self) -> int:
+        return sum(len(v) for v in self._by_proc.values())

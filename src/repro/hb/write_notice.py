@@ -1,0 +1,30 @@
+"""Write notices: "this page was modified in that interval".
+
+A write notice is the lazy protocols' unit of invalidation metadata: it
+names a modification without carrying it (§4.1). Notices travel
+piggybacked on lock-grant and barrier messages; the diffs they announce
+are pulled later (LI: at the next access miss; LU: immediately).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.common.types import PageId, ProcId
+from repro.hb.interval import IntervalId
+
+
+@dataclass(frozen=True, order=True)
+class WriteNotice:
+    """An announcement that ``page`` was modified in interval ``(creator, interval)``."""
+
+    creator: ProcId
+    interval: int
+    page: PageId
+
+    @property
+    def interval_id(self) -> IntervalId:
+        return (self.creator, self.interval)
+
+    def __repr__(self) -> str:
+        return f"WriteNotice(p{self.creator}.i{self.interval}, page={self.page})"

@@ -1,0 +1,103 @@
+"""The shared virtual address space and its allocator.
+
+Workloads allocate shared objects from a single byte-addressed space; page
+boundaries are applied only later, by the protocol simulator, for whatever
+page size is being simulated. That keeps traces page-size independent —
+the same trace is replayed at 512..8192-byte pages, exactly as the paper
+sweeps page size over one set of traces.
+
+Object placement controls *false sharing*: a packed layout (the default,
+like a real malloc) puts unrelated objects on the same large page, which
+is precisely the effect the paper studies. An optional per-object
+alignment lets experiments dial false sharing away.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+from repro.common.types import Addr, WORD_SIZE, align_up
+
+
+@dataclass(frozen=True)
+class Region:
+    """A named allocation: ``[base, base + size)`` bytes."""
+
+    name: str
+    base: Addr
+    size: int
+
+    @property
+    def end(self) -> Addr:
+        return self.base + self.size
+
+    def addr(self, offset: int) -> Addr:
+        """Byte address at ``offset``; bounds-checked."""
+        if not 0 <= offset < self.size:
+            raise IndexError(f"offset {offset} outside region {self.name!r} of size {self.size}")
+        return self.base + offset
+
+    def word_addr(self, index: int) -> Addr:
+        """Address of the ``index``-th word of the region."""
+        return self.addr(index * WORD_SIZE)
+
+    @property
+    def n_words(self) -> int:
+        return self.size // WORD_SIZE
+
+
+class AddressSpace:
+    """A bump allocator over the shared byte space."""
+
+    def __init__(self, base: Addr = 0):
+        if base < 0:
+            raise ValueError(f"base must be non-negative, got {base}")
+        self._next: Addr = base
+        self._regions: Dict[str, Region] = {}
+        self._order: List[str] = []
+
+    def alloc(self, name: str, size: int, align: int = WORD_SIZE) -> Region:
+        """Allocate ``size`` bytes, aligned to ``align``, under ``name``.
+
+        Names must be unique; they give experiments and the sharing
+        analyzer a symbolic handle on address ranges.
+        """
+        if size <= 0:
+            raise ValueError(f"allocation size must be positive, got {size}")
+        if align <= 0 or align % WORD_SIZE != 0:
+            raise ValueError(f"alignment must be a positive multiple of {WORD_SIZE}, got {align}")
+        if name in self._regions:
+            raise ValueError(f"region {name!r} already allocated")
+        base = align_up(self._next, align)
+        region = Region(name=name, base=base, size=align_up(size, WORD_SIZE))
+        self._next = region.end
+        self._regions[name] = region
+        self._order.append(name)
+        return region
+
+    def alloc_words(self, name: str, n_words: int, align: int = WORD_SIZE) -> Region:
+        """Allocate ``n_words`` 4-byte words."""
+        return self.alloc(name, n_words * WORD_SIZE, align)
+
+    def region(self, name: str) -> Region:
+        return self._regions[name]
+
+    def regions(self) -> List[Region]:
+        """All regions in allocation order."""
+        return [self._regions[name] for name in self._order]
+
+    def region_of(self, addr: Addr) -> str:
+        """Name of the region containing ``addr`` (linear scan; analysis only)."""
+        for region in self._regions.values():
+            if region.base <= addr < region.end:
+                return region.name
+        raise KeyError(f"address {addr:#x} is not in any region")
+
+    @property
+    def size(self) -> int:
+        """Bytes allocated so far (high-water mark)."""
+        return self._next
+
+    def __repr__(self) -> str:
+        return f"AddressSpace({len(self._regions)} regions, {self.size} bytes)"

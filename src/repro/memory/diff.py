@@ -1,0 +1,95 @@
+"""Word-granularity diffs.
+
+A diff records, for one page, the words an interval modified and their new
+values. Diffs are created against a twin (or accumulated write-through, an
+equivalent shortcut when the exact write set is known — see
+:mod:`repro.memory.twin`), merged run-length encoded onto the wire, and
+applied to page copies in happened-before order (§4.3.3: "The happened
+before partial order specifies the order in which the diffs need to be
+applied").
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Tuple
+
+from repro.common.types import PageId, ProcId
+from repro.network.costs import CostModel
+
+
+class Diff:
+    """The modifications one interval made to one page.
+
+    Attributes:
+        page: the page the diff belongs to.
+        creator: processor that made the modifications.
+        interval: the creator's interval index in which they were made.
+        words: mapping word-index -> new value.
+    """
+
+    __slots__ = ("page", "creator", "interval", "words")
+
+    def __init__(
+        self,
+        page: PageId,
+        creator: ProcId,
+        interval: int,
+        words: Dict[int, int],
+    ):
+        if not words:
+            raise ValueError("a diff must contain at least one modified word")
+        self.page = page
+        self.creator = creator
+        self.interval = interval
+        self.words = dict(words)
+
+    # -- wire size ---------------------------------------------------------
+
+    def runs(self) -> List[Tuple[int, int]]:
+        """Contiguous runs of modified words as (first_index, length)."""
+        indices = sorted(self.words)
+        runs: List[Tuple[int, int]] = []
+        start = prev = indices[0]
+        for idx in indices[1:]:
+            if idx == prev + 1:
+                prev = idx
+                continue
+            runs.append((start, prev - start + 1))
+            start = prev = idx
+        runs.append((start, prev - start + 1))
+        return runs
+
+    def wire_bytes(self, cost_model: CostModel) -> int:
+        """Bytes this diff occupies in a message payload."""
+        runs = self.runs()
+        return (
+            len(runs) * cost_model.diff_run_header_bytes
+            + len(self.words) * cost_model.word_bytes
+        )
+
+    # -- application ---------------------------------------------------------
+
+    def apply_to(self, words: Dict[int, int]) -> None:
+        """Overwrite ``words`` (a page copy) with this diff's modifications."""
+        words.update(self.words)
+
+    def overlaps(self, other: "Diff") -> bool:
+        """True if the two diffs modify at least one common word."""
+        if self.page != other.page:
+            return False
+        mine, theirs = self.words, other.words
+        if len(theirs) < len(mine):
+            mine, theirs = theirs, mine
+        return any(idx in theirs for idx in mine)
+
+    def __repr__(self) -> str:
+        return (
+            f"Diff(page={self.page}, p{self.creator}.i{self.interval}, "
+            f"{len(self.words)} words)"
+        )
+
+
+def apply_in_order(diffs: Iterable[Diff], words: Dict[int, int]) -> None:
+    """Apply ``diffs`` to a page copy in the given (hb) order."""
+    for diff in diffs:
+        diff.apply_to(words)

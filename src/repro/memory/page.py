@@ -1,0 +1,121 @@
+"""Pages and per-processor page tables.
+
+A :class:`Page` is a sparse word store (unwritten words read as 0). Each
+simulated processor owns a :class:`PageTable` whose entries track the
+protocol-visible state of every page it has touched: MISSING (never
+fetched), VALID, or INVALID (cached but stale — LRC keeps invalidated
+copies around so a later miss only needs diffs, §4.3.3).
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Dict, Iterator, Optional, Set
+
+from repro.common.types import PageId, ProcId
+from repro.memory.twin import Twin
+
+
+class Page:
+    """One page's contents: sparse mapping word-index -> value."""
+
+    __slots__ = ("page_id", "words")
+
+    def __init__(self, page_id: PageId, words: Optional[Dict[int, int]] = None):
+        self.page_id = page_id
+        self.words: Dict[int, int] = dict(words) if words else {}
+
+    def read(self, word: int) -> int:
+        return self.words.get(word, 0)
+
+    def write(self, word: int, value: int) -> None:
+        self.words[word] = value
+
+    def copy(self) -> "Page":
+        return Page(self.page_id, self.words)
+
+    def __repr__(self) -> str:
+        return f"Page({self.page_id}, {len(self.words)} words set)"
+
+
+class PageState(enum.Enum):
+    """Protocol-visible state of a page at one processor."""
+
+    MISSING = "missing"
+    VALID = "valid"
+    INVALID = "invalid"
+
+
+class PageEntry:
+    """One processor's view of one page.
+
+    ``dirty_words`` accumulates the write set of the current interval
+    (equivalent to a twin comparison — see :mod:`repro.memory.twin`);
+    ``twin`` is kept when protocols are configured to diff by comparison.
+    """
+
+    __slots__ = ("page", "state", "dirty_words", "twin")
+
+    def __init__(self, page_id: PageId):
+        self.page = Page(page_id)
+        self.state = PageState.MISSING
+        self.dirty_words: Dict[int, int] = {}
+        self.twin: Optional[Twin] = None
+
+    @property
+    def page_id(self) -> PageId:
+        return self.page.page_id
+
+    @property
+    def is_dirty(self) -> bool:
+        return bool(self.dirty_words)
+
+    def make_twin(self) -> None:
+        """Snapshot the page before the interval's first write."""
+        if self.twin is None:
+            self.twin = Twin(self.page_id, self.page.words)
+
+    def clear_dirty(self) -> None:
+        self.dirty_words = {}
+        self.twin = None
+
+
+class PageTable:
+    """All page entries of one processor."""
+
+    def __init__(self, proc: ProcId):
+        self.proc = proc
+        self._entries: Dict[PageId, PageEntry] = {}
+
+    def entry(self, page_id: PageId) -> PageEntry:
+        """The entry for ``page_id``, created MISSING on first use."""
+        if page_id not in self._entries:
+            self._entries[page_id] = PageEntry(page_id)
+        return self._entries[page_id]
+
+    def lookup(self, page_id: PageId) -> Optional[PageEntry]:
+        """The entry if the page was ever touched here, else None."""
+        return self._entries.get(page_id)
+
+    def has_copy(self, page_id: PageId) -> bool:
+        """True if a (valid or stale) copy of the page is cached here."""
+        entry = self._entries.get(page_id)
+        return entry is not None and entry.state != PageState.MISSING
+
+    def is_valid(self, page_id: PageId) -> bool:
+        entry = self._entries.get(page_id)
+        return entry is not None and entry.state == PageState.VALID
+
+    def dirty_pages(self) -> Set[PageId]:
+        """Pages with un-flushed local modifications."""
+        return {pid for pid, e in self._entries.items() if e.is_dirty}
+
+    def __iter__(self) -> Iterator[PageEntry]:
+        return iter(self._entries.values())
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __repr__(self) -> str:
+        valid = sum(1 for e in self._entries.values() if e.state == PageState.VALID)
+        return f"PageTable(p{self.proc}, {len(self._entries)} entries, {valid} valid)"

@@ -1,0 +1,53 @@
+"""Twins: pre-write snapshots used to compute diffs.
+
+Munin's write-shared protocol (and LRC after it) write-protects shared
+pages; the first write traps, copies the page to a *twin*, and unprotects.
+At diff time the current page is compared word-by-word with the twin.
+
+In the trace-driven simulator the exact write set of every interval is
+known from the trace, so protocols accumulate dirty words directly — an
+optimization that is behaviourally identical as long as every recorded
+write is treated as modifying its word. :func:`Twin.diff_against` exists
+both for API completeness and as the oracle the test suite uses to prove
+the equivalence.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from repro.common.types import PageId, ProcId
+from repro.memory.diff import Diff
+
+
+class Twin:
+    """A snapshot of a page's words taken before the first write."""
+
+    __slots__ = ("page", "words")
+
+    def __init__(self, page: PageId, words: Dict[int, int]):
+        self.page = page
+        self.words = dict(words)
+
+    def diff_against(
+        self,
+        current: Dict[int, int],
+        creator: ProcId,
+        interval: int,
+    ) -> Optional[Diff]:
+        """The words of ``current`` that differ from the twin, or None.
+
+        Words present in only one of the two snapshots compare against the
+        implicit initial value 0 (fresh pages read as zero).
+        """
+        changed: Dict[int, int] = {}
+        for idx in set(self.words) | set(current):
+            new = current.get(idx, 0)
+            if self.words.get(idx, 0) != new:
+                changed[idx] = new
+        if not changed:
+            return None
+        return Diff(self.page, creator, interval, changed)
+
+    def __repr__(self) -> str:
+        return f"Twin(page={self.page}, {len(self.words)} words)"

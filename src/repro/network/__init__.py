@@ -1,0 +1,24 @@
+"""Network substrate: message taxonomy, reliable FIFO channels, accounting.
+
+The paper's simulator counts messages and payload bytes; it assumes
+reliable FIFO point-to-point channels and no broadcast/multicast (§5.1).
+This package provides exactly that instrument: a :class:`Network` of
+:class:`Channel` objects that delivers :class:`Message` records and keeps
+per-category counts in :class:`NetworkStats`.
+"""
+
+from repro.network.message import Message, MessageKind
+from repro.network.channel import Channel
+from repro.network.costs import CostModel
+from repro.network.stats import NetworkStats, CategoryStats
+from repro.network.network import Network
+
+__all__ = [
+    "Message",
+    "MessageKind",
+    "Channel",
+    "CostModel",
+    "NetworkStats",
+    "CategoryStats",
+    "Network",
+]

@@ -1,0 +1,71 @@
+"""Byte-cost model for protocol messages.
+
+The paper reports "data (kbytes)"; its exact header conventions are not
+specified, so the sizes here are explicit configuration. The same
+:class:`CostModel` instance feeds both the simulator's accounting and the
+analytical Table-1 model (:mod:`repro.simulator.costs`) so the two are
+consistent by construction.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.common.types import WORD_SIZE
+
+
+@dataclass(frozen=True)
+class CostModel:
+    """Sizes (bytes) of protocol data structures on the wire.
+
+    Attributes:
+        header_bytes: fixed per-message header (addressing, type, seq).
+        vclock_entry_bytes: one vector-clock entry; a full clock costs
+            ``n_procs * vclock_entry_bytes``.
+        write_notice_bytes: one write notice (creator proc, interval
+            index, page id).
+        diff_run_header_bytes: per contiguous run of modified words in a
+            diff (page id + offset + length).
+        word_bytes: bytes per data word carried in a diff run.
+        count_acks: whether pure acknowledgment messages are counted in
+            message totals (the paper's eager release "blocks until
+            acknowledgments have been received"; whether Table 1 counts
+            them is ambiguous in the OCR — see DESIGN.md).
+        count_header_in_data: whether header bytes contribute to the data
+            totals, or only payloads.
+        count_control_in_data: whether protocol *control* metadata
+            (vector clocks, write notices) contributes to the data
+            totals. The paper's data figures track shared-data movement
+            (pages and diffs); control metadata is accounted separately
+            by default and can be folded in for sensitivity studies.
+    """
+
+    header_bytes: int = 32
+    vclock_entry_bytes: int = 4
+    write_notice_bytes: int = 12
+    diff_run_header_bytes: int = 8
+    word_bytes: int = WORD_SIZE
+    count_acks: bool = True
+    count_header_in_data: bool = False
+    count_control_in_data: bool = False
+
+    def vclock_bytes(self, n_procs: int) -> int:
+        """Wire size of a full vector clock."""
+        return n_procs * self.vclock_entry_bytes
+
+    def notices_bytes(self, n_notices: int) -> int:
+        """Wire size of a batch of write notices."""
+        return n_notices * self.write_notice_bytes
+
+    def page_bytes(self, page_size: int) -> int:
+        """Wire size of a full page copy."""
+        return page_size
+
+    def message_data_bytes(self, payload_bytes: int, control_bytes: int = 0) -> int:
+        """Bytes a message contributes to the data totals."""
+        total = payload_bytes
+        if self.count_control_in_data:
+            total += control_bytes
+        if self.count_header_in_data:
+            total += self.header_bytes
+        return total

@@ -1,0 +1,93 @@
+"""Message taxonomy for the DSM protocols.
+
+Each protocol action that crosses the interconnect is one
+:class:`Message`. The :class:`MessageKind` enumeration covers every message
+type used by the four protocols (LI, LU, EI, EU); the accounting layer
+groups kinds into the paper's four operation categories (access miss,
+lock, unlock, barrier).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Any, Dict, Optional
+
+from repro.common.types import ProcId
+
+
+class MessageKind(enum.Enum):
+    """Every kind of protocol message, tagged with its accounting category."""
+
+    # -- access-miss servicing ------------------------------------------------
+    PAGE_REQUEST = ("miss", "request a page copy from the directory manager")
+    PAGE_FORWARD = ("miss", "directory manager forwards the request to the owner")
+    PAGE_REPLY = ("miss", "owner sends the page to the faulting processor")
+    DIFF_REQUEST = ("miss", "lazy: ask a concurrent last modifier for diffs")
+    DIFF_REPLY = ("miss", "lazy: diffs returned to the faulting processor")
+
+    # -- lock transfer ----------------------------------------------------------
+    LOCK_REQUEST = ("lock", "ask the lock's static manager for the lock")
+    LOCK_FORWARD = ("lock", "manager forwards the request to the current holder")
+    LOCK_GRANT = ("lock", "holder grants the lock (lazy: carries write notices)")
+    LOCK_NOTICE = ("lock", "lazy: notices sent separately when piggybacking is off")
+    ACQUIRE_DIFF_REQUEST = ("lock", "LU: pull diffs for cached pages at acquire")
+    ACQUIRE_DIFF_REPLY = ("lock", "LU: diffs pulled at acquire")
+
+    # -- release-time (unlock) propagation, eager only ---------------------------
+    WRITE_NOTICE = ("unlock", "EI: invalidation sent to another cacher at release")
+    UPDATE = ("unlock", "EU: diff sent to another cacher at release")
+    RELEASE_ACK = ("unlock", "acknowledgment of a release-time notice/update")
+    OWNER_RECONCILE = ("unlock", "EI: excess invalidator ships its diff to the owner")
+
+    # -- barriers -------------------------------------------------------------
+    BARRIER_ARRIVAL = ("barrier", "client arrival at the barrier master")
+    BARRIER_EXIT = ("barrier", "master releases a client (lazy: carries notices)")
+    BARRIER_NOTICE = ("barrier", "EI: invalidation sent to another cacher at a barrier")
+    BARRIER_UPDATE = ("barrier", "update sent/pulled for barrier-time propagation")
+    BARRIER_UPDATE_REQUEST = ("barrier", "LU: pull diffs after barrier exit")
+    BARRIER_ACK = ("barrier", "acknowledgment of barrier-time notice/update")
+    BARRIER_RECONCILE = ("barrier", "EI: excess invalidator ships diff to owner")
+
+    def __init__(self, category: str, doc: str):
+        self.category = category
+        self.doc = doc
+
+    @property
+    def is_ack(self) -> bool:
+        """True for pure acknowledgments (optionally excluded from counts)."""
+        return self in (MessageKind.RELEASE_ACK, MessageKind.BARRIER_ACK)
+
+
+#: The paper's four operation categories, in Table-1 column order.
+CATEGORIES = ("miss", "lock", "unlock", "barrier")
+
+
+@dataclass
+class Message:
+    """One protocol message travelling from ``src`` to ``dst``.
+
+    ``payload_bytes`` is the size of the shared-data payload (diffs, page
+    contents); ``control_bytes`` is protocol metadata riding along
+    (vector clocks, write notices). Both exclude the fixed header, whose
+    size comes from the :class:`~repro.network.costs.CostModel`. ``body``
+    carries the in-simulator Python payload and never affects accounting.
+    """
+
+    kind: MessageKind
+    src: ProcId
+    dst: ProcId
+    payload_bytes: int = 0
+    control_bytes: int = 0
+    body: Optional[Dict[str, Any]] = field(default=None, repr=False)
+
+    def __post_init__(self) -> None:
+        if self.payload_bytes < 0 or self.control_bytes < 0:
+            raise ValueError(
+                f"negative payload/control: {self.payload_bytes}/{self.control_bytes}"
+            )
+
+    @property
+    def category(self) -> str:
+        """The Table-1 accounting category of this message."""
+        return self.kind.category

@@ -1,0 +1,182 @@
+"""Abstract protocol machinery shared by the lazy and eager families.
+
+A :class:`Protocol` owns all per-processor state (page tables), the
+network, and the synchronization managers. The trace-driven engine calls
+the public entry points (:meth:`read`, :meth:`write`, :meth:`acquire`,
+:meth:`release`, :meth:`barrier`); subclasses implement the family-
+specific hooks.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Dict, List, Optional, Sequence
+
+from repro.common.errors import ProtocolError
+from repro.common.types import BarrierId, LockId, PageId, ProcId
+from repro.memory.page import PageEntry, PageState, PageTable
+from repro.network.message import MessageKind
+from repro.network.network import Network
+from repro.config import SimConfig
+from repro.sync.barrier import BarrierMaster
+from repro.sync.lock_manager import LockDirectory
+
+
+class ProcState:
+    """Per-processor state common to every protocol."""
+
+    __slots__ = ("proc", "pages")
+
+    def __init__(self, proc: ProcId):
+        self.proc = proc
+        self.pages = PageTable(proc)
+
+
+class Protocol(abc.ABC):
+    """Base class of the four coherence protocols."""
+
+    #: Short name used by the registry and in reports ("LI", "EU", ...).
+    name: str = "abstract"
+    #: True for the lazy (LRC) family.
+    lazy: bool = False
+    #: True for update protocols, False for invalidate.
+    update: bool = False
+
+    def __init__(self, config: SimConfig):
+        self.config = config
+        self.n_procs = config.n_procs
+        self.page_size = config.page_size
+        self.costs = config.cost_model
+        self.network = Network(config.n_procs, config.cost_model)
+        self.locks = LockDirectory(config.n_procs)
+        self.barriers = BarrierMaster(config.n_procs)
+        self.procs: List[ProcState] = [ProcState(p) for p in range(config.n_procs)]
+        # Counters reported alongside network stats.
+        self.cold_misses = 0
+        self.invalid_misses = 0
+        self.diffs_fetched = 0
+        self.diff_bytes_fetched = 0
+
+    # -- helpers -----------------------------------------------------------
+
+    def entry(self, proc: ProcId, page: PageId) -> PageEntry:
+        return self.procs[proc].pages.entry(page)
+
+    def page_manager(self, page: PageId) -> ProcId:
+        """The page's statically assigned manager/home processor."""
+        return page % self.n_procs
+
+    # -- engine entry points -----------------------------------------------
+
+    def read(self, proc: ProcId, page: PageId, words: Sequence[int]) -> List[int]:
+        """Perform a read access; returns the values observed."""
+        entry = self.entry(proc, page)
+        if entry.state != PageState.VALID:
+            self._service_miss(proc, page, entry)
+        return [entry.page.read(w) for w in words]
+
+    def write(self, proc: ProcId, page: PageId, words: Sequence[int], token: int) -> None:
+        """Perform a write access, tagging every written word with ``token``."""
+        entry = self.entry(proc, page)
+        if entry.state != PageState.VALID:
+            self._service_miss(proc, page, entry)
+        if not entry.is_dirty:
+            entry.make_twin()
+        for word in words:
+            entry.page.write(word, token)
+            entry.dirty_words[word] = token
+        self._note_write(proc, page, entry)
+
+    def acquire(self, proc: ProcId, lock: LockId) -> None:
+        self._on_acquire(proc, lock)
+        self.locks.record_acquire(proc, lock)
+
+    def release(self, proc: ProcId, lock: LockId) -> None:
+        self._on_release(proc, lock)
+        self.locks.record_release(proc, lock)
+
+    def barrier(self, proc: ProcId, barrier: BarrierId) -> None:
+        """Barrier arrival; the family hook sends the arrival message."""
+        self._on_barrier_arrive(proc, barrier)
+        if self.barriers.record_arrival(proc, barrier):
+            self._on_barrier_complete(barrier)
+
+    def finish(self) -> None:
+        """Called once after the last trace event (default: no-op)."""
+
+    # -- miss handling --------------------------------------------------------
+
+    def _service_miss(self, proc: ProcId, page: PageId, entry: PageEntry) -> None:
+        if entry.state == PageState.MISSING:
+            self.cold_misses += 1
+        elif entry.state == PageState.INVALID:
+            self.invalid_misses += 1
+        else:
+            raise ProtocolError(f"miss on VALID page {page} at p{proc}")
+        self._handle_miss(proc, page, entry)
+        if entry.state != PageState.VALID:
+            raise ProtocolError(
+                f"{self.name}: miss handler left page {page} {entry.state} at p{proc}"
+            )
+
+    def _fetch_page_copy(
+        self,
+        proc: ProcId,
+        page: PageId,
+        entry: PageEntry,
+        server: ProcId,
+        request_kind: MessageKind = MessageKind.PAGE_REQUEST,
+        reply_kind: MessageKind = MessageKind.PAGE_REPLY,
+        forward: Optional[ProcId] = None,
+    ) -> None:
+        """Fetch a full page copy from ``server`` into ``entry``.
+
+        ``forward`` routes the request through the directory manager first
+        (the eager three-message miss). Local dirty words survive the
+        fetch: a multiple-writer protocol never loses the fetching
+        processor's concurrent modifications.
+        """
+        if forward is not None:
+            self.network.send(request_kind, proc, forward)
+            self.network.send(MessageKind.PAGE_FORWARD, forward, server)
+        else:
+            self.network.send(request_kind, proc, server)
+        self.network.send(
+            reply_kind,
+            server,
+            proc,
+            payload_bytes=self.costs.page_bytes(self.page_size),
+        )
+        server_entry = self.procs[server].pages.lookup(page)
+        words: Dict[int, int] = dict(server_entry.page.words) if server_entry else {}
+        words.update(entry.dirty_words)
+        entry.page.words = words
+        entry.state = PageState.VALID
+
+    # -- family-specific hooks ---------------------------------------------
+
+    @abc.abstractmethod
+    def _handle_miss(self, proc: ProcId, page: PageId, entry: PageEntry) -> None:
+        """Bring ``page`` to VALID at ``proc``, charging the network."""
+
+    @abc.abstractmethod
+    def _on_acquire(self, proc: ProcId, lock: LockId) -> None:
+        """Consistency + transfer actions of a lock acquire."""
+
+    @abc.abstractmethod
+    def _on_release(self, proc: ProcId, lock: LockId) -> None:
+        """Consistency actions of a lock release."""
+
+    @abc.abstractmethod
+    def _on_barrier_arrive(self, proc: ProcId, barrier: BarrierId) -> None:
+        """Consistency actions at barrier arrival (before the arrival message)."""
+
+    @abc.abstractmethod
+    def _on_barrier_complete(self, barrier: BarrierId) -> None:
+        """Actions when the last processor arrives (exit messages)."""
+
+    def _note_write(self, proc: ProcId, page: PageId, entry: PageEntry) -> None:
+        """Hook invoked after every write (default: nothing)."""
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}(n_procs={self.n_procs}, page_size={self.page_size})"

@@ -1,0 +1,209 @@
+"""Eager release consistency after Munin's write-shared protocol (§3).
+
+A processor delays propagating its modifications until it reaches a
+release (or a barrier). At that point it pushes, to every other cacher of
+each modified page, either an invalidation (EI) or a diff (EU) — merged
+into one message per destination, as Munin merges all writes going to the
+same destination — and blocks until acknowledged. No consistency actions
+happen at acquires. Access misses are serviced through a static directory
+manager: two messages when the manager can supply the page, three when it
+forwards to the current owner.
+
+False sharing under EI creates *excess invalidators*: a processor whose
+copy was invalidated while it held unflushed modifications. Its flush
+cannot simply invalidate others (its copy is incomplete); instead it ships
+its diff to the current owner, which merges it — the paper's ``v`` term
+(Table 1).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.common.types import BarrierId, LockId, PageId, ProcId
+from repro.memory.diff import Diff
+from repro.memory.page import PageEntry, PageState
+from repro.network.message import MessageKind
+from repro.protocols.base import Protocol
+from repro.config import SimConfig
+
+
+class PageDirectory:
+    """Global directory: per-page copyset and owner.
+
+    The *owner* is the last processor to have flushed the page while
+    holding a complete copy; its copy is always current, so it services
+    misses and absorbs excess invalidators' diffs.
+    """
+
+    def __init__(self) -> None:
+        self.copyset: Dict[PageId, Set[ProcId]] = {}
+        self.owner: Dict[PageId, Optional[ProcId]] = {}
+
+    def cachers(self, page: PageId) -> Set[ProcId]:
+        return self.copyset.setdefault(page, set())
+
+    def owner_of(self, page: PageId) -> Optional[ProcId]:
+        return self.owner.get(page)
+
+    def record_fetch(self, proc: ProcId, page: PageId) -> None:
+        self.cachers(page).add(proc)
+        if self.owner.get(page) is None:
+            self.owner[page] = proc
+
+
+#: Message kinds used by a flush, per context (unlock vs barrier).
+FlushKinds = Tuple[MessageKind, MessageKind, MessageKind, MessageKind]
+UNLOCK_KINDS: FlushKinds = (
+    MessageKind.WRITE_NOTICE,
+    MessageKind.UPDATE,
+    MessageKind.RELEASE_ACK,
+    MessageKind.OWNER_RECONCILE,
+)
+BARRIER_KINDS: FlushKinds = (
+    MessageKind.BARRIER_NOTICE,
+    MessageKind.BARRIER_UPDATE,
+    MessageKind.BARRIER_ACK,
+    MessageKind.BARRIER_RECONCILE,
+)
+
+
+class EagerProtocol(Protocol):
+    """Common eager implementation; EI/EU differ in what a flush pushes."""
+
+    lazy = False
+
+    def __init__(self, config: SimConfig):
+        super().__init__(config)
+        self.directory = PageDirectory()
+        self._flush_counter = [0] * config.n_procs
+        self.flushes = 0
+        self.reconciles = 0
+
+    # -- release-time propagation ------------------------------------------
+
+    def _flush(self, proc: ProcId, kinds: FlushKinds) -> None:
+        """Propagate ``proc``'s modifications since its last flush."""
+        notice_kind, update_kind, ack_kind, reconcile_kind = kinds
+        dirty_entries = [e for e in self.procs[proc].pages if e.is_dirty]
+        if not dirty_entries:
+            return
+        self.flushes += 1
+        index = self._flush_counter[proc]
+        self._flush_counter[proc] += 1
+
+        per_dest: Dict[ProcId, List[Diff]] = {}
+        for entry in dirty_entries:
+            page = entry.page_id
+            diff = Diff(page, proc, index, entry.dirty_words)
+            if entry.state == PageState.INVALID:
+                # Excess invalidator: someone else invalidated this copy
+                # while we held modifications (false sharing). Ship the
+                # diff to the owner, whose copy stays authoritative, and
+                # invalidate any cacher that fetched before this diff
+                # arrived — its copy is stale with respect to these words.
+                self._reconcile(proc, diff, reconcile_kind, ack_kind)
+                owner = self.directory.owner_of(page)
+                for dest in sorted(self.directory.cachers(page) - {proc, owner}):
+                    self.network.send(
+                        notice_kind,
+                        proc,
+                        dest,
+                        control_bytes=self.costs.notices_bytes(1),
+                    )
+                    self._apply_invalidations(dest, [page])
+                    self.network.send(ack_kind, dest, proc)
+                entry.clear_dirty()
+                continue
+            for dest in sorted(self.directory.cachers(page) - {proc}):
+                per_dest.setdefault(dest, []).append(diff)
+            self._post_flush_page(proc, page)
+            entry.clear_dirty()
+
+        for dest in sorted(per_dest):
+            diffs = per_dest[dest]
+            if self.update:
+                payload = sum(diff.wire_bytes(self.costs) for diff in diffs)
+                self.network.send(update_kind, proc, dest, payload_bytes=payload)
+                self._apply_updates(dest, diffs)
+            else:
+                control = self.costs.notices_bytes(len(diffs))
+                self.network.send(notice_kind, proc, dest, control_bytes=control)
+                self._apply_invalidations(dest, [diff.page for diff in diffs])
+            self.network.send(ack_kind, dest, proc)
+
+    def _reconcile(
+        self, proc: ProcId, diff: Diff, reconcile_kind: MessageKind, ack_kind: MessageKind
+    ) -> None:
+        owner = self.directory.owner_of(diff.page)
+        assert owner is not None and owner != proc, (
+            f"invalid copy at p{proc} for page {diff.page} without a foreign owner"
+        )
+        self.reconciles += 1
+        self.network.send(
+            reconcile_kind, proc, owner, payload_bytes=diff.wire_bytes(self.costs)
+        )
+        owner_entry = self.entry(owner, diff.page)
+        diff.apply_to(owner_entry.page.words)
+        # The owner's own unflushed writes stay on top of merged data.
+        owner_entry.page.words.update(owner_entry.dirty_words)
+        self.network.send(ack_kind, owner, proc)
+
+    def _apply_updates(self, dest: ProcId, diffs: List[Diff]) -> None:
+        for diff in diffs:
+            entry = self.entry(dest, diff.page)
+            diff.apply_to(entry.page.words)
+            entry.page.words.update(entry.dirty_words)
+
+    def _apply_invalidations(self, dest: ProcId, pages: List[PageId]) -> None:
+        for page in pages:
+            entry = self.entry(dest, page)
+            if entry.state == PageState.VALID:
+                entry.state = PageState.INVALID
+            self.directory.cachers(page).discard(dest)
+
+    def _post_flush_page(self, proc: ProcId, page: PageId) -> None:
+        """EI narrows the copyset and takes ownership; EU keeps the copyset."""
+        self.directory.owner[page] = proc
+
+    # -- access misses -----------------------------------------------------------
+
+    def _handle_miss(self, proc: ProcId, page: PageId, entry: PageEntry) -> None:
+        """Two or three messages through the directory manager (§3)."""
+        manager = self.page_manager(page)
+        manager_has_copy = manager in self.directory.cachers(page) or (
+            self.directory.owner_of(page) is None
+        )
+        if manager_has_copy:
+            # The manager supplies the page (or its initial zero contents).
+            self._fetch_page_copy(proc, page, entry, server=manager)
+        else:
+            owner = self.directory.owner_of(page)
+            assert owner is not None
+            server = owner if owner != proc else manager
+            self._fetch_page_copy(proc, page, entry, server=server, forward=manager)
+        self.directory.record_fetch(proc, page)
+
+    # -- synchronization -----------------------------------------------------------
+
+    def _on_acquire(self, proc: ProcId, lock: LockId) -> None:
+        """No consistency-related operations occur on an acquire (§3)."""
+        grantor = self.locks.grantor_of(lock)
+        if grantor == proc and self.config.free_local_lock_reacquire:
+            return
+        manager = self.locks.manager_of(lock)
+        self.network.send(MessageKind.LOCK_REQUEST, proc, manager)
+        self.network.send(MessageKind.LOCK_FORWARD, manager, grantor)
+        self.network.send(MessageKind.LOCK_GRANT, grantor, proc)
+
+    def _on_release(self, proc: ProcId, lock: LockId) -> None:
+        self._flush(proc, UNLOCK_KINDS)
+
+    def _on_barrier_arrive(self, proc: ProcId, barrier: BarrierId) -> None:
+        self._flush(proc, BARRIER_KINDS)
+        if proc != self.barriers.master:
+            self.network.send(MessageKind.BARRIER_ARRIVAL, proc, self.barriers.master)
+
+    def _on_barrier_complete(self, barrier: BarrierId) -> None:
+        for proc in self.barriers.exit_targets():
+            self.network.send(MessageKind.BARRIER_EXIT, self.barriers.master, proc)

@@ -1,0 +1,111 @@
+"""HLRC — home-based lazy release consistency.
+
+A forward-looking extension: the protocol Zhou, Iftode & Li later showed
+to be the practical alternative to TreadMarks-style ("homeless") LRC.
+Write-notice propagation is identical to LRC — vector-timestamped
+intervals, notices piggybacked on lock grants and barrier messages,
+invalidation on receipt. The *data* movement differs:
+
+- Every page has a statically assigned **home** (its manager). When an
+  interval closes with modifications, the diffs are immediately flushed
+  to each page's home, which merges them into its authoritative copy.
+  Having flushed, the writer can discard the diff — HLRC's memory
+  advantage over LRC, visible in the ``retained_diff_bytes`` counters.
+- An access miss fetches the **whole page from its home** — always two
+  messages, one round trip, regardless of how many processors modified
+  it. No concurrent-last-modifier bookkeeping, no diff accumulation; the
+  cost is full-page transfers where LRC ships diffs.
+
+Correctness: any write ordered (hb) before a read was flushed at the
+writer's interval close, which precedes the reader's notice receipt and
+therefore its re-fetch — the home copy a reader receives always contains
+every modification the reader is entitled to see (plus, possibly,
+concurrent writers' words, which a race-free program does not read).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from repro.common.types import BarrierId, LockId, PageId, ProcId
+from repro.config import SimConfig
+from repro.hb.interval import Interval
+from repro.hb.write_notice import WriteNotice
+from repro.memory.page import PageEntry, PageState
+from repro.network.message import MessageKind
+from repro.protocols.lazy_base import LazyProtocol
+
+
+class HomeLazy(LazyProtocol):
+    """Home-based LRC (invalidate policy)."""
+
+    name = "HLRC"
+    update = False
+
+    def __init__(self, config: SimConfig):
+        super().__init__(config)
+        self.home_flushes = 0
+
+    # -- home flushing -------------------------------------------------------
+
+    def _close_interval(self, proc: ProcId) -> Interval:
+        interval = super()._close_interval(proc)
+        if interval.diffs:
+            self._flush_home(proc, interval)
+        return interval
+
+    def _flush_home(self, proc: ProcId, interval: Interval) -> None:
+        """Push the interval's diffs to each page's home, then drop them."""
+        by_home: Dict[ProcId, List[PageId]] = {}
+        for page in interval.modified_pages:
+            by_home.setdefault(self.page_manager(page), []).append(page)
+        for home in sorted(by_home):
+            payload = 0
+            for page in by_home[home]:
+                diff = interval.diffs[page]
+                payload += diff.wire_bytes(self.costs)
+                home_entry = self.entry(home, page)
+                diff.apply_to(home_entry.page.words)
+                home_entry.page.words.update(home_entry.dirty_words)
+            self.network.send(
+                MessageKind.UPDATE, proc, home, payload_bytes=payload
+            )
+            self.network.send(MessageKind.RELEASE_ACK, home, proc)
+            self.home_flushes += 1
+        # Flushed diffs need not be retained (HLRC's memory advantage);
+        # the interval objects keep them only for the simulator's oracle.
+        flushed = set(interval.modified_pages)
+        kept = []
+        for live_interval, page, wire in self._live_diffs:
+            if live_interval is interval and page in flushed:
+                self.retained_diff_bytes -= wire
+            else:
+                kept.append((live_interval, page, wire))
+        self._live_diffs = kept
+
+    # -- notices: invalidate, except at the page's home ------------------------
+
+    def _on_notice(self, proc: ProcId, notice: WriteNotice) -> None:
+        page = notice.page
+        state = self.lazy_state[proc]
+        if self.page_manager(page) == proc:
+            # The home already holds the flushed modification.
+            pending = state.pending.get(page)
+            if pending is not None:
+                pending.discard(notice.interval_id)
+                if not pending:
+                    del state.pending[page]
+            return
+        entry = self.procs[proc].pages.lookup(page)
+        if entry is not None and entry.state == PageState.VALID:
+            entry.state = PageState.INVALID
+
+    def _after_notices(self, proc: ProcId, pull_kinds: Tuple[MessageKind, MessageKind]) -> None:
+        """Data moves only at misses (invalidate policy)."""
+
+    # -- misses: one round trip to the home -------------------------------------
+
+    def _handle_miss(self, proc: ProcId, page: PageId, entry: PageEntry) -> None:
+        self.lazy_state[proc].pending.pop(page, None)
+        home = self.page_manager(page)
+        self._fetch_page_copy(proc, page, entry, server=home)

@@ -1,0 +1,465 @@
+"""Lazy release consistency: machinery shared by LI and LU (§4).
+
+Execution is divided into intervals; every special access closes the
+current interval (finalizing one diff per modified page) and begins a new
+one. Write notices travel piggybacked on lock-grant and barrier messages,
+covering exactly the intervals the receiver's vector timestamp shows it
+lacks; releases exchange no messages at all. Diffs are pulled from their
+creators — LI at the next access miss, LU immediately on notice receipt —
+and applied in happened-before order.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.common.types import BarrierId, LockId, PageId, ProcId
+from repro.common.vector_clock import VectorClock
+from repro.hb.interval import Interval, IntervalId
+from repro.hb.store import IntervalStore
+from repro.hb.write_notice import WriteNotice
+from repro.memory.diff import Diff
+from repro.memory.page import PageEntry, PageState
+from repro.network.message import MessageKind
+from repro.protocols.base import Protocol
+from repro.config import SimConfig
+
+
+class LazyProcState:
+    """Per-processor LRC state."""
+
+    __slots__ = ("vc", "pending")
+
+    def __init__(self, proc: ProcId, n_procs: int):
+        #: Vector timestamp over *closed* intervals; own entry = index of
+        #: this processor's most recently closed interval (-1 initially).
+        self.vc = VectorClock.zero(n_procs)
+        #: Write notices received but not yet turned into applied diffs,
+        #: grouped by page: page -> set of (creator, interval index).
+        self.pending: Dict[PageId, Set[IntervalId]] = {}
+
+
+class LazyProtocol(Protocol):
+    """Common LRC implementation; LI/LU differ in how notices are consumed."""
+
+    lazy = True
+
+    def __init__(self, config: SimConfig):
+        super().__init__(config)
+        self.store = IntervalStore(config.n_procs)
+        self.lazy_state = [LazyProcState(p, config.n_procs) for p in range(config.n_procs)]
+        # In-flight barrier episodes: barrier id -> list of (proc, vc at arrival).
+        self._episodes: Dict[BarrierId, List[Tuple[ProcId, VectorClock]]] = {}
+        self.intervals_closed = 0
+        self.notices_sent = 0
+        # Diff-retention accounting (LRC's memory cost; §5.1 assumes
+        # infinite memory, the optional barrier-time GC reclaims).
+        self.retained_diff_bytes = 0
+        self.peak_retained_diff_bytes = 0
+        self.gc_collected_bytes = 0
+        self.gc_runs = 0
+        self._live_diffs: List[Tuple[Interval, PageId, int]] = []
+        # Distributions of Table 1's m (modifiers per miss) and h
+        # (modifiers per eager pull): value -> occurrence count.
+        self.miss_m_histogram: Dict[int, int] = {}
+        self.pull_h_histogram: Dict[int, int] = {}
+
+    # -- interval management -----------------------------------------------
+
+    def _close_interval(self, proc: ProcId) -> Interval:
+        """Close ``proc``'s open interval, finalizing its diffs."""
+        state = self.lazy_state[proc]
+        index = state.vc[proc] + 1
+        vc = state.vc.advanced(proc, index)
+        interval = Interval(proc, index, vc)
+        for entry in self.procs[proc].pages:
+            if entry.is_dirty:
+                diff = Diff(entry.page_id, proc, index, entry.dirty_words)
+                interval.add_diff(diff)
+                entry.clear_dirty()
+                wire = diff.wire_bytes(self.costs)
+                self.retained_diff_bytes += wire
+                self._live_diffs.append((interval, diff.page, wire))
+        self.peak_retained_diff_bytes = max(
+            self.peak_retained_diff_bytes, self.retained_diff_bytes
+        )
+        interval.close()
+        self.store.add(interval)
+        state.vc = vc
+        self.intervals_closed += 1
+        return interval
+
+    # -- write-notice machinery ----------------------------------------------
+
+    def _notices_for_gap(
+        self, sender_vc: VectorClock, receiver_vc: VectorClock
+    ) -> List[WriteNotice]:
+        """Notices for every interval the sender knows and the receiver lacks."""
+        notices: List[WriteNotice] = []
+        for creator, first, last in sender_vc.missing_from(receiver_vc):
+            for interval in self.store.intervals_of(creator, first, last):
+                for page in interval.modified_pages:
+                    notices.append(WriteNotice(creator, interval.index, page))
+        return notices
+
+    def _receive_notices(
+        self,
+        proc: ProcId,
+        notices: List[WriteNotice],
+        sender_vc: VectorClock,
+        pull_kinds: Tuple[MessageKind, MessageKind],
+    ) -> None:
+        """Record incoming notices at ``proc`` and merge the sender's clock.
+
+        ``pull_kinds`` are the request/reply message kinds an update
+        protocol uses if it pulls diffs right away (lock-category kinds at
+        an acquire, barrier-category kinds at a barrier exit).
+        """
+        state = self.lazy_state[proc]
+        for notice in notices:
+            if notice.creator == proc:
+                continue
+            state.pending.setdefault(notice.page, set()).add(notice.interval_id)
+            self._on_notice(proc, notice)
+        state.vc = state.vc.merged(sender_vc)
+        self._after_notices(proc, pull_kinds)
+
+    def _on_notice(self, proc: ProcId, notice: WriteNotice) -> None:
+        """Per-notice hook: LI invalidates the named page here."""
+
+    def _after_notices(self, proc: ProcId, pull_kinds: Tuple[MessageKind, MessageKind]) -> None:
+        """Post-batch hook: LU pulls diffs for cached pages here."""
+
+    # -- diff collection -------------------------------------------------------
+
+    def _collect_diffs(
+        self,
+        proc: ProcId,
+        pages: List[PageId],
+        request_kind: MessageKind,
+        reply_kind: MessageKind,
+    ) -> int:
+        """Fetch and apply every pending diff of ``pages`` at ``proc``.
+
+        One request/reply pair goes to each *concurrent last modifier*
+        (the paper's ``m``/``h`` terms): the hb-maximal modifying
+        intervals of each page. A maximal modifier's copy already
+        incorporates every hb-earlier modification — it had to service
+        its own miss before writing — so it serves an aggregate diff
+        covering those too; only pairwise-concurrent modifiers (false
+        sharing) force contacting more than one processor. Diffs are
+        applied in happened-before order. Returns the number of distinct
+        modifiers contacted.
+        """
+        state = self.lazy_state[proc]
+        needed: List[Diff] = []
+        for page in pages:
+            for interval_id in state.pending.pop(page, ()):
+                diff = self.store.get(interval_id).diff_for(page)
+                if diff is None:  # pragma: no cover - notices name real diffs
+                    raise AssertionError(f"notice without diff: {interval_id}, page {page}")
+                needed.append(diff)
+        if not needed:
+            return 0
+        if self.config.skip_overwritten_diffs:
+            needed = self._prune_overwritten(needed)
+        by_server = self._assign_servers(needed)
+        for server in sorted(by_server):
+            diffs = by_server[server]
+            self.network.send(request_kind, proc, server)
+            payload = self._aggregate_wire_bytes(diffs)
+            self.network.send(reply_kind, server, proc, payload_bytes=payload)
+            self.diffs_fetched += len(diffs)
+            self.diff_bytes_fetched += payload
+        self._apply_diffs(proc, needed)
+        return len(by_server)
+
+    def _assign_servers(self, needed: List[Diff]) -> Dict[ProcId, List[Diff]]:
+        """Route each needed diff to a concurrent last modifier of its page.
+
+        Per page, the hb-maximal modifying intervals are found; every
+        needed diff is served by the maximal interval that hb-follows it
+        (its creator's copy provably contains the modification), choosing
+        the latest such interval for determinism.
+        """
+        by_page: Dict[PageId, List[Diff]] = {}
+        for diff in needed:
+            by_page.setdefault(diff.page, []).append(diff)
+        by_server: Dict[ProcId, List[Diff]] = {}
+        for page_diffs in by_page.values():
+            intervals = {
+                diff: self.store.get((diff.creator, diff.interval))
+                for diff in page_diffs
+            }
+            maximal = [
+                diff
+                for diff in page_diffs
+                if not any(
+                    intervals[diff].precedes(intervals[other])
+                    for other in page_diffs
+                    if other is not diff
+                )
+            ]
+            for diff in page_diffs:
+                covering = [
+                    top
+                    for top in maximal
+                    if top is diff or intervals[diff].precedes(intervals[top])
+                ]
+                server = max(
+                    covering, key=lambda top: (sum(intervals[top].vc), top.creator)
+                ).creator
+                by_server.setdefault(server, []).append(diff)
+        return by_server
+
+    def _aggregate_wire_bytes(self, diffs: List[Diff]) -> int:
+        """Wire size of the aggregate diffs one server sends.
+
+        Per page, hb-ordered diffs collapse into one aggregate (the union
+        of their modified words, each word once), run-length encoded.
+        """
+        by_page: Dict[PageId, set] = {}
+        for diff in diffs:
+            by_page.setdefault(diff.page, set()).update(diff.words)
+        total = 0
+        for words in by_page.values():
+            indices = sorted(words)
+            runs = 1
+            for prev, cur in zip(indices, indices[1:]):
+                if cur != prev + 1:
+                    runs += 1
+            total += runs * self.costs.diff_run_header_bytes
+            total += len(indices) * self.costs.word_bytes
+        return total
+
+    def _prune_overwritten(self, needed: List[Diff]) -> List[Diff]:
+        """Drop diffs every word of which a later (hb) needed diff rewrites."""
+        kept: List[Diff] = []
+        for diff in needed:
+            interval = self.store.get((diff.creator, diff.interval))
+            overwritten = False
+            for other in needed:
+                if other is diff or other.page != diff.page:
+                    continue
+                other_interval = self.store.get((other.creator, other.interval))
+                if interval.precedes(other_interval) and set(diff.words) <= set(other.words):
+                    overwritten = True
+                    break
+            if not overwritten:
+                kept.append(diff)
+        return kept
+
+    def _apply_diffs(self, proc: ProcId, diffs: List[Diff]) -> None:
+        """Apply diffs in hb order, preserving the local open interval's writes.
+
+        For intervals ordered by hb, the creator's interval timestamp of
+        the later one dominates the earlier one's pointwise, so the sum of
+        entries is a valid topological key (ties are concurrent and, in a
+        race-free program, touch disjoint words).
+        """
+        def order_key(diff: Diff):
+            interval = self.store.get((diff.creator, diff.interval))
+            return (sum(interval.vc), diff.creator, diff.interval)
+
+        by_page: Dict[PageId, List[Diff]] = {}
+        for diff in diffs:
+            by_page.setdefault(diff.page, []).append(diff)
+        for page, page_diffs in by_page.items():
+            entry = self.entry(proc, page)
+            for diff in sorted(page_diffs, key=order_key):
+                diff.apply_to(entry.page.words)
+            # A concurrent local writer's uncommitted words survive merges.
+            entry.page.words.update(entry.dirty_words)
+
+    # -- access misses ---------------------------------------------------------
+
+    def _handle_miss(self, proc: ProcId, page: PageId, entry: PageEntry) -> None:
+        """§4.3.3: a stale copy needs only diffs; a cold miss also fetches a base copy."""
+        need_page = entry.state == PageState.MISSING or not self.config.diff_to_invalid_copy
+        if need_page and entry.state == PageState.MISSING:
+            # The page's home serves the base copy (initially zero-filled).
+            self.network.send(MessageKind.PAGE_REQUEST, proc, self.page_manager(page))
+            self.network.send(
+                MessageKind.PAGE_REPLY,
+                self.page_manager(page),
+                proc,
+                payload_bytes=self.costs.page_bytes(self.page_size),
+            )
+        elif need_page:
+            # Ablation mode: refetch a full page even though a copy exists.
+            self.network.send(MessageKind.PAGE_REQUEST, proc, self.page_manager(page))
+            self.network.send(
+                MessageKind.PAGE_REPLY,
+                self.page_manager(page),
+                proc,
+                payload_bytes=self.costs.page_bytes(self.page_size),
+            )
+        m = self._collect_diffs(
+            proc, [page], MessageKind.DIFF_REQUEST, MessageKind.DIFF_REPLY
+        )
+        self.miss_m_histogram[m] = self.miss_m_histogram.get(m, 0) + 1
+        entry.state = PageState.VALID
+
+    # -- locks -------------------------------------------------------------------
+
+    def _on_acquire(self, proc: ProcId, lock: LockId) -> None:
+        self._close_interval(proc)
+        grantor = self.locks.grantor_of(lock)
+        if grantor == proc and self.config.free_local_lock_reacquire:
+            return
+        state = self.lazy_state[proc]
+        vc_bytes = self.costs.vclock_bytes(self.n_procs)
+        manager = self.locks.manager_of(lock)
+        # The request and forward hops carry the acquirer's timestamp so
+        # the grantor can compute the missing notices (§4.2).
+        self.network.send(MessageKind.LOCK_REQUEST, proc, manager, control_bytes=vc_bytes)
+        self.network.send(MessageKind.LOCK_FORWARD, manager, grantor, control_bytes=vc_bytes)
+        grantor_vc = self.lazy_state[grantor].vc
+        notices = self._notices_for_gap(grantor_vc, state.vc)
+        self.notices_sent += len(notices)
+        notice_bytes = self.costs.notices_bytes(len(notices))
+        if self.config.piggyback_notices or not notices:
+            self.network.send(
+                MessageKind.LOCK_GRANT,
+                grantor,
+                proc,
+                control_bytes=vc_bytes + notice_bytes,
+            )
+        else:
+            # Ablation: notices travel in their own message after the grant.
+            self.network.send(MessageKind.LOCK_GRANT, grantor, proc, control_bytes=vc_bytes)
+            self.network.send(
+                MessageKind.LOCK_NOTICE, grantor, proc, control_bytes=notice_bytes
+            )
+        self._receive_notices(
+            proc,
+            notices,
+            grantor_vc,
+            pull_kinds=(MessageKind.ACQUIRE_DIFF_REQUEST, MessageKind.ACQUIRE_DIFF_REPLY),
+        )
+
+    def _on_release(self, proc: ProcId, lock: LockId) -> None:
+        """Releases are purely local operations in LRC — no messages (§4.2)."""
+        self._close_interval(proc)
+
+    # -- barriers ------------------------------------------------------------------
+
+    def _on_barrier_arrive(self, proc: ProcId, barrier: BarrierId) -> None:
+        self._close_interval(proc)
+        state = self.lazy_state[proc]
+        episode = self._episodes.setdefault(barrier, [])
+        master = self.barriers.master
+        if proc != master:
+            # The arrival carries the client's timestamp plus the notices
+            # the (running) episode merge does not yet cover.
+            merged = self._episode_clock(barrier)
+            notices = self._notices_for_gap(state.vc, merged)
+            self.notices_sent += len(notices)
+            vc_bytes = self.costs.vclock_bytes(self.n_procs)
+            notice_bytes = self.costs.notices_bytes(len(notices))
+            if self.config.piggyback_notices or not notices:
+                self.network.send(
+                    MessageKind.BARRIER_ARRIVAL,
+                    proc,
+                    master,
+                    control_bytes=vc_bytes + notice_bytes,
+                )
+            else:
+                self.network.send(
+                    MessageKind.BARRIER_ARRIVAL, proc, master, control_bytes=vc_bytes
+                )
+                self.network.send(
+                    MessageKind.BARRIER_NOTICE, proc, master, control_bytes=notice_bytes
+                )
+        episode.append((proc, state.vc))
+
+    def _episode_clock(self, barrier: BarrierId) -> VectorClock:
+        """The running merge of the episode's arrivals plus the master's clock."""
+        merged = self.lazy_state[self.barriers.master].vc
+        for _, vc in self._episodes.get(barrier, ()):
+            merged = merged.merged(vc)
+        return merged
+
+    def _on_barrier_complete(self, barrier: BarrierId) -> None:
+        master = self.barriers.master
+        merged = self._episode_clock(barrier)
+        self._episodes[barrier] = []
+        vc_bytes = self.costs.vclock_bytes(self.n_procs)
+        for proc in range(self.n_procs):
+            state = self.lazy_state[proc]
+            notices = self._notices_for_gap(merged, state.vc)
+            if proc != master:
+                self.notices_sent += len(notices)
+                notice_bytes = self.costs.notices_bytes(len(notices))
+                if self.config.piggyback_notices or not notices:
+                    self.network.send(
+                        MessageKind.BARRIER_EXIT,
+                        master,
+                        proc,
+                        control_bytes=vc_bytes + notice_bytes,
+                    )
+                else:
+                    self.network.send(
+                        MessageKind.BARRIER_EXIT, master, proc, control_bytes=vc_bytes
+                    )
+                    self.network.send(
+                        MessageKind.BARRIER_NOTICE, master, proc, control_bytes=notice_bytes
+                    )
+            self._receive_notices(
+                proc,
+                notices,
+                merged,
+                pull_kinds=(MessageKind.BARRIER_UPDATE_REQUEST, MessageKind.BARRIER_UPDATE),
+            )
+        if self.config.gc_at_barriers:
+            self._collect_garbage()
+
+    # -- diff garbage collection -----------------------------------------------
+
+    def _collect_garbage(self) -> None:
+        """Reclaim diffs no processor can ever need again.
+
+        A diff of interval ``(q, k)`` for page ``P`` is collectable when
+        (a) every processor's timestamp covers ``(q, k)`` — the notice is
+        everywhere; (b) no processor still has it pending — everyone who
+        caches ``P`` applied it; and (c) a *globally covered* later
+        modification of ``P`` hb-dominates it, so any future fetch is
+        served by the dominating modifier's aggregate instead. The
+        reclaim is conservative (a covered diff with no covered
+        dominator survives) and purely an accounting of the real
+        protocol's memory behaviour — the simulator's value bookkeeping
+        is unaffected.
+        """
+        min_entries = [
+            min(state.vc[r] for state in self.lazy_state) for r in range(self.n_procs)
+        ]
+        pending_refs = {
+            (interval_id, page)
+            for state in self.lazy_state
+            for page, interval_ids in state.pending.items()
+            for interval_id in interval_ids
+        }
+        # Chain-maximal globally-covered modifying interval per page.
+        dominators: Dict[PageId, Interval] = {}
+        for interval, page, _wire in self._live_diffs:
+            if interval.index <= min_entries[interval.proc]:
+                current = dominators.get(page)
+                if current is None or current.precedes(interval):
+                    dominators[page] = interval
+        survivors: List[Tuple[Interval, PageId, int]] = []
+        for interval, page, wire in self._live_diffs:
+            dominator = dominators.get(page)
+            collectable = (
+                interval.index <= min_entries[interval.proc]
+                and (interval.id, page) not in pending_refs
+                and dominator is not None
+                and dominator is not interval
+                and interval.precedes(dominator)
+            )
+            if collectable:
+                self.gc_collected_bytes += wire
+                self.retained_diff_bytes -= wire
+            else:
+                survivors.append((interval, page, wire))
+        self._live_diffs = survivors
+        self.gc_runs += 1

@@ -1,0 +1,33 @@
+"""LI — lazy release consistency with an invalidate policy (§4.3.2).
+
+"In the case of an invalidate protocol, the acquiring processor
+invalidates all pages in its cache for which it received write-notices."
+Invalidations are free — they are implied by the piggybacked notices —
+and the diffs are pulled only at the next access miss.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+from repro.common.types import ProcId
+from repro.hb.write_notice import WriteNotice
+from repro.memory.page import PageState
+from repro.network.message import MessageKind
+from repro.protocols.lazy_base import LazyProtocol
+
+
+class LazyInvalidate(LazyProtocol):
+    """The paper's LI protocol."""
+
+    name = "LI"
+    update = False
+
+    def _on_notice(self, proc: ProcId, notice: WriteNotice) -> None:
+        entry = self.procs[proc].pages.lookup(notice.page)
+        if entry is not None and entry.state == PageState.VALID:
+            # The stale copy is kept: a later miss needs only diffs (§4.3.3).
+            entry.state = PageState.INVALID
+
+    def _after_notices(self, proc: ProcId, pull_kinds: Tuple[MessageKind, MessageKind]) -> None:
+        """LI defers all data movement to the next access miss."""

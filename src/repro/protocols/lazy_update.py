@@ -1,0 +1,33 @@
+"""LU — lazy release consistency with an update policy (§4.3.2).
+
+"In the case of an update protocol, the acquiring processor updates those
+pages": on receiving write notices (at an acquire or a barrier exit), LU
+immediately pulls the diffs for every page it caches from the concurrent
+last modifiers — the ``h`` extra lock-time messages of Table 1 — so its
+cached pages never go stale and the only remaining misses are cold.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from repro.common.types import PageId, ProcId
+from repro.network.message import MessageKind
+from repro.protocols.lazy_base import LazyProtocol
+
+
+class LazyUpdate(LazyProtocol):
+    """The paper's LU protocol."""
+
+    name = "LU"
+    update = True
+
+    def _after_notices(self, proc: ProcId, pull_kinds: Tuple[MessageKind, MessageKind]) -> None:
+        state = self.lazy_state[proc]
+        pages = self.procs[proc].pages
+        cached: List[PageId] = [
+            page for page in state.pending if pages.has_copy(page)
+        ]
+        if cached:
+            h = self._collect_diffs(proc, cached, pull_kinds[0], pull_kinds[1])
+            self.pull_h_histogram[h] = self.pull_h_histogram.get(h, 0) + 1

@@ -1,0 +1,71 @@
+"""Protocol registry: name -> class.
+
+The canonical names are the paper's abbreviations — ``LI``, ``LU``,
+``EI``, ``EU`` — with long-form aliases accepted case-insensitively.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Type
+
+from repro.common.errors import ConfigError
+from repro.protocols.base import Protocol
+from repro.protocols.eager_invalidate import EagerInvalidate
+from repro.protocols.eager_update import EagerUpdate
+from repro.protocols.exclusive_writer import ExclusiveWriter
+from repro.protocols.home_lazy import HomeLazy
+from repro.protocols.lazy_hybrid import LazyHybrid
+from repro.protocols.lazy_invalidate import LazyInvalidate
+from repro.protocols.lazy_update import LazyUpdate
+
+#: Canonical registry, in the paper's plotting order.
+PROTOCOLS: Dict[str, Type[Protocol]] = {
+    "LI": LazyInvalidate,
+    "LU": LazyUpdate,
+    "EI": EagerInvalidate,
+    "EU": EagerUpdate,
+}
+
+#: Protocols beyond the paper's four (not part of the figure sweeps).
+EXTRA_PROTOCOLS: Dict[str, Type[Protocol]] = {
+    "EW": ExclusiveWriter,
+    "LH": LazyHybrid,
+    "HLRC": HomeLazy,
+}
+
+_ALIASES = {
+    "lazy-invalidate": "LI",
+    "lazy-update": "LU",
+    "eager-invalidate": "EI",
+    "eager-update": "EU",
+    "exclusive-writer": "EW",
+    "ivy": "EW",
+    "sc": "EW",
+    "lazy-hybrid": "LH",
+    "home-based": "HLRC",
+    "hlrc": "HLRC",
+}
+
+
+def protocol_names() -> List[str]:
+    """The paper's four protocol names, in plotting order."""
+    return list(PROTOCOLS)
+
+
+def all_protocol_names() -> List[str]:
+    """Every registered protocol, extras included."""
+    return list(PROTOCOLS) + list(EXTRA_PROTOCOLS)
+
+
+def protocol_class(name: str) -> Type[Protocol]:
+    """Resolve a protocol name or alias to its class."""
+    key = name.strip()
+    canonical = key.upper()
+    if canonical not in PROTOCOLS and canonical not in EXTRA_PROTOCOLS:
+        canonical = _ALIASES.get(key.lower())
+    if canonical is None:
+        raise ConfigError(
+            f"unknown protocol {name!r}; expected one of "
+            f"{', '.join(all_protocol_names())}"
+        )
+    return PROTOCOLS.get(canonical) or EXTRA_PROTOCOLS[canonical]

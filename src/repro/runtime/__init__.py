@@ -1,0 +1,27 @@
+"""Deterministic concurrent execution engine (the Tango substitute).
+
+The paper's traces were produced by Tango, which runs a parallel program
+on a simulated multiprocessor and records every shared access. This
+package does the same in pure Python: application *threads* are Python
+generators that yield shared-memory operations; a seeded scheduler
+interleaves one operation at a time against a sequentially consistent
+word store, enforcing lock exclusion and barrier semantics, and records
+the resulting global event stream as a
+:class:`~repro.trace.stream.TraceStream`.
+
+Thread code reads like DSM application code::
+
+    def worker(dsm: Dsm, proc: int):
+        yield dsm.acquire(TASK_LOCK)
+        head = yield dsm.read(queue.word_addr(0))
+        yield dsm.write(queue.word_addr(0), head + 1)
+        yield dsm.release(TASK_LOCK)
+        yield dsm.barrier(0)
+"""
+
+from repro.runtime.ops import Op, OpKind
+from repro.runtime.dsm import Dsm
+from repro.runtime.scheduler import Scheduler, ThreadFn
+from repro.runtime.program import Program
+
+__all__ = ["Op", "OpKind", "Dsm", "Scheduler", "ThreadFn", "Program"]

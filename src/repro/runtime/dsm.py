@@ -1,0 +1,65 @@
+"""The per-thread DSM programming interface.
+
+A :class:`Dsm` instance is handed to each thread; its methods build the
+:class:`~repro.runtime.ops.Op` records the thread yields to the
+scheduler. Reads evaluate to their result at the yield point::
+
+    value = yield dsm.read(addr)
+    yield dsm.write(addr, value + 1)
+"""
+
+from __future__ import annotations
+
+from typing import Sequence, Union
+
+from repro.common.types import Addr, BarrierId, LockId, WORD_SIZE
+from repro.memory.address_space import Region
+from repro.runtime.ops import Op, OpKind
+
+
+class Dsm:
+    """Operation factory bound to one processor."""
+
+    def __init__(self, proc: int):
+        self.proc = proc
+
+    # -- data accesses -------------------------------------------------------
+
+    def read(self, addr: Addr, size: int = WORD_SIZE) -> Op:
+        """Read ``size`` bytes at ``addr``; yields to the word value(s)."""
+        return Op(OpKind.READ, addr=addr, size=size)
+
+    def write(self, addr: Addr, value: Union[int, Sequence[int]] = 0, size: int = WORD_SIZE) -> Op:
+        """Write ``value`` (a word, or one word per covered word) at ``addr``."""
+        return Op(OpKind.WRITE, addr=addr, size=size, value=value)
+
+    def read_word(self, region: Region, index: int) -> Op:
+        """Read the ``index``-th word of ``region``."""
+        return self.read(region.word_addr(index))
+
+    def write_word(self, region: Region, index: int, value: int) -> Op:
+        """Write the ``index``-th word of ``region``."""
+        return self.write(region.word_addr(index), value)
+
+    def read_block(self, region: Region, first_word: int, n_words: int) -> Op:
+        """Read ``n_words`` consecutive words; yields to a list of values."""
+        return self.read(region.word_addr(first_word), n_words * WORD_SIZE)
+
+    def write_block(
+        self, region: Region, first_word: int, values: Sequence[int]
+    ) -> Op:
+        """Write consecutive words from ``values``."""
+        return self.write(
+            region.word_addr(first_word), list(values), len(values) * WORD_SIZE
+        )
+
+    # -- synchronization ----------------------------------------------------
+
+    def acquire(self, lock: LockId) -> Op:
+        return Op(OpKind.ACQUIRE, lock=lock)
+
+    def release(self, lock: LockId) -> Op:
+        return Op(OpKind.RELEASE, lock=lock)
+
+    def barrier(self, barrier: BarrierId) -> Op:
+        return Op(OpKind.BARRIER, barrier=barrier)

@@ -1,0 +1,67 @@
+"""Operations yielded by runtime threads."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+from repro.common.types import Addr, BarrierId, LockId, WORD_SIZE
+
+
+class OpKind(enum.Enum):
+    READ = "read"
+    WRITE = "write"
+    ACQUIRE = "acquire"
+    RELEASE = "release"
+    BARRIER = "barrier"
+
+
+@dataclass(frozen=True)
+class Op:
+    """One shared-memory operation requested by a thread.
+
+    ``value`` (for writes) is the word value, or a sequence of word
+    values when ``size`` spans several words.
+    """
+
+    kind: OpKind
+    addr: Optional[Addr] = None
+    size: int = WORD_SIZE
+    lock: Optional[LockId] = None
+    barrier: Optional[BarrierId] = None
+    value: object = None
+
+    def __post_init__(self) -> None:
+        if self.kind in (OpKind.READ, OpKind.WRITE):
+            if self.addr is None or self.addr < 0:
+                raise ValueError(f"{self.kind.value} needs a non-negative address")
+            if self.size <= 0 or self.size % WORD_SIZE != 0:
+                raise ValueError(
+                    f"access size must be a positive multiple of {WORD_SIZE}, "
+                    f"got {self.size}"
+                )
+        elif self.kind in (OpKind.ACQUIRE, OpKind.RELEASE):
+            if self.lock is None or self.lock < 0:
+                raise ValueError(f"{self.kind.value} needs a lock id")
+        else:
+            if self.barrier is None or self.barrier < 0:
+                raise ValueError("barrier needs a barrier id")
+
+    @property
+    def n_words(self) -> int:
+        return self.size // WORD_SIZE
+
+    def write_values(self) -> Sequence[int]:
+        """The word values of a write, expanded to ``n_words`` entries."""
+        if self.kind != OpKind.WRITE:
+            raise ValueError("write_values on a non-write op")
+        if isinstance(self.value, (list, tuple)):
+            values = list(self.value)
+            if len(values) != self.n_words:
+                raise ValueError(
+                    f"write of {self.n_words} words got {len(values)} values"
+                )
+            return values
+        base = int(self.value) if self.value is not None else 0
+        return [base] * self.n_words

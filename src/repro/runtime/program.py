@@ -1,0 +1,63 @@
+"""High-level SPMD program builder.
+
+A :class:`Program` couples an address space with a scheduler: allocate
+shared regions, install one thread body (SPMD) or per-processor bodies,
+run, and get back a trace whose metadata records the memory layout.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from repro.common.types import ProcId
+from repro.memory.address_space import AddressSpace, Region
+from repro.runtime.scheduler import Scheduler, ThreadFn
+from repro.trace.stream import TraceStream
+
+
+class Program:
+    """A shared address space plus one thread per processor."""
+
+    def __init__(
+        self,
+        n_procs: int,
+        app: str,
+        seed: int = 0,
+        schedule: str = "random",
+    ):
+        self.n_procs = n_procs
+        self.app = app
+        self.memory = AddressSpace()
+        self.scheduler = Scheduler(n_procs, seed=seed, schedule=schedule, app=app)
+        self.params: Dict[str, str] = {}
+
+    def alloc(self, name: str, size: int, align: int = 4) -> Region:
+        """Allocate a named shared region (bytes)."""
+        return self.memory.alloc(name, size, align)
+
+    def alloc_words(self, name: str, n_words: int, align: int = 4) -> Region:
+        """Allocate a named shared region (words)."""
+        return self.memory.alloc_words(name, n_words, align)
+
+    def set_param(self, name: str, value: object) -> None:
+        """Record a workload parameter in the trace metadata."""
+        self.params[name] = str(value)
+
+    def spmd(self, fn: ThreadFn) -> None:
+        """Run the same thread body on every processor."""
+        for proc in range(self.n_procs):
+            self.scheduler.spawn(proc, fn)
+
+    def spawn(self, proc: ProcId, fn: ThreadFn) -> None:
+        """Install a body for one processor."""
+        self.scheduler.spawn(proc, fn)
+
+    def run(self) -> TraceStream:
+        """Execute and return the trace (region map in the metadata)."""
+        trace = self.scheduler.run()
+        trace.meta.params.update(self.params)
+        trace.meta.regions = {
+            region.name: (region.base, region.size)
+            for region in self.memory.regions()
+        }
+        return trace

@@ -1,0 +1,208 @@
+"""The deterministic scheduler.
+
+One generator thread per processor; each scheduling step advances one
+runnable thread by one operation against a sequentially consistent word
+store. Lock waiters queue FIFO; barrier arrivals block until every live
+processor has arrived. The interleaving is chosen by a seeded PRNG (or
+strict round-robin), so traces are reproducible bit-for-bit.
+"""
+
+from __future__ import annotations
+
+import random
+from collections import deque
+from typing import Callable, Deque, Dict, Generator, List, Optional, Set
+
+from repro.common.errors import ConfigError, RuntimeDeadlockError, TraceError
+from repro.common.types import BarrierId, LockId, ProcId, WORD_SIZE
+from repro.runtime.dsm import Dsm
+from repro.runtime.ops import Op, OpKind
+from repro.trace.events import Event, EventType
+from repro.trace.stream import TraceMeta, TraceStream
+
+#: A thread body: generator yielding Ops, optionally receiving read values.
+ThreadGen = Generator[Op, object, None]
+#: A thread factory: (dsm, proc) -> generator.
+ThreadFn = Callable[[Dsm, ProcId], ThreadGen]
+
+
+class _Thread:
+    __slots__ = ("proc", "gen", "pending_result", "done")
+
+    def __init__(self, proc: ProcId, gen: ThreadGen):
+        self.proc = proc
+        self.gen = gen
+        self.pending_result: object = None
+        self.done = False
+
+
+class Scheduler:
+    """Runs one thread per processor and records the trace."""
+
+    def __init__(
+        self,
+        n_procs: int,
+        seed: int = 0,
+        schedule: str = "random",
+        app: str = "unknown",
+    ):
+        if n_procs < 1:
+            raise ConfigError(f"n_procs must be >= 1, got {n_procs}")
+        if schedule not in ("random", "round_robin"):
+            raise ConfigError(f"unknown schedule {schedule!r}")
+        self.n_procs = n_procs
+        self.schedule = schedule
+        self._rng = random.Random(seed)
+        self.meta = TraceMeta(n_procs=n_procs, app=app, params={"seed": str(seed)})
+        self.trace = TraceStream(self.meta)
+        self.memory: Dict[int, int] = {}
+        self._threads: List[Optional[_Thread]] = [None] * n_procs
+        self._lock_holder: Dict[LockId, Optional[ProcId]] = {}
+        self._lock_waiters: Dict[LockId, Deque[ProcId]] = {}
+        self._barrier_waiting: Dict[BarrierId, Set[ProcId]] = {}
+        self._blocked: Dict[ProcId, Op] = {}
+        self._rr_next = 0
+        self.steps = 0
+
+    def spawn(self, proc: ProcId, fn: ThreadFn) -> None:
+        """Install the thread body for processor ``proc``."""
+        if not 0 <= proc < self.n_procs:
+            raise ConfigError(f"processor p{proc} out of range")
+        if self._threads[proc] is not None:
+            raise ConfigError(f"processor p{proc} already has a thread")
+        self._threads[proc] = _Thread(proc, fn(Dsm(proc), proc))
+
+    # -- execution -------------------------------------------------------------
+
+    def run(self) -> TraceStream:
+        """Run every thread to completion and return the recorded trace."""
+        missing = [p for p in range(self.n_procs) if self._threads[p] is None]
+        if missing:
+            raise ConfigError(f"processors without threads: {missing}")
+        while True:
+            runnable = self._runnable()
+            if not runnable:
+                if all(t.done for t in self._threads if t):
+                    break
+                self._raise_deadlock()
+            proc = self._pick(runnable)
+            self._step(proc)
+        return self.trace
+
+    def _runnable(self) -> List[ProcId]:
+        return [
+            t.proc
+            for t in self._threads
+            if t and not t.done and t.proc not in self._blocked
+        ]
+
+    def _pick(self, runnable: List[ProcId]) -> ProcId:
+        if self.schedule == "round_robin":
+            for offset in range(self.n_procs):
+                candidate = (self._rr_next + offset) % self.n_procs
+                if candidate in runnable:
+                    self._rr_next = (candidate + 1) % self.n_procs
+                    return candidate
+        return self._rng.choice(runnable)
+
+    def _step(self, proc: ProcId) -> None:
+        thread = self._threads[proc]
+        assert thread is not None
+        self.steps += 1
+        try:
+            op = thread.gen.send(thread.pending_result)
+        except StopIteration:
+            thread.done = True
+            self._check_barrier_stranding()
+            return
+        thread.pending_result = None
+        if not isinstance(op, Op):
+            raise TraceError(f"thread p{proc} yielded {op!r}, expected an Op")
+        self._execute(thread, op)
+
+    # -- operation semantics ---------------------------------------------------
+
+    def _execute(self, thread: _Thread, op: Op) -> None:
+        proc = thread.proc
+        if op.kind == OpKind.READ:
+            values = [
+                self.memory.get(op.addr + i * WORD_SIZE, 0) for i in range(op.n_words)
+            ]
+            thread.pending_result = values if op.n_words > 1 else values[0]
+            self.trace.append(Event.read(proc, op.addr, op.size))
+        elif op.kind == OpKind.WRITE:
+            for i, value in enumerate(op.write_values()):
+                self.memory[op.addr + i * WORD_SIZE] = value
+            self.trace.append(Event.write(proc, op.addr, op.size))
+        elif op.kind == OpKind.ACQUIRE:
+            self._acquire(proc, op)
+        elif op.kind == OpKind.RELEASE:
+            self._release(proc, op)
+        else:
+            self._barrier(proc, op)
+
+    def _acquire(self, proc: ProcId, op: Op) -> None:
+        lock = op.lock
+        assert lock is not None
+        holder = self._lock_holder.get(lock)
+        if holder is None and not self._lock_waiters.get(lock):
+            self._grant(proc, lock)
+        else:
+            self._lock_waiters.setdefault(lock, deque()).append(proc)
+            self._blocked[proc] = op
+
+    def _grant(self, proc: ProcId, lock: LockId) -> None:
+        self._lock_holder[lock] = proc
+        self.trace.append(Event.acquire(proc, lock))
+
+    def _release(self, proc: ProcId, op: Op) -> None:
+        lock = op.lock
+        assert lock is not None
+        if self._lock_holder.get(lock) != proc:
+            raise TraceError(
+                f"p{proc} releases lock {lock} held by {self._lock_holder.get(lock)}"
+            )
+        self.trace.append(Event.release(proc, lock))
+        self._lock_holder[lock] = None
+        waiters = self._lock_waiters.get(lock)
+        if waiters:
+            next_proc = waiters.popleft()
+            del self._blocked[next_proc]
+            self._grant(next_proc, lock)
+
+    def _barrier(self, proc: ProcId, op: Op) -> None:
+        barrier = op.barrier
+        assert barrier is not None
+        self.trace.append(Event.at_barrier(proc, barrier))
+        waiting = self._barrier_waiting.setdefault(barrier, set())
+        waiting.add(proc)
+        if len(waiting) == self.n_procs:
+            for waiter in waiting:
+                self._blocked.pop(waiter, None)
+            self._barrier_waiting[barrier] = set()
+        else:
+            self._blocked[proc] = op
+
+    def _check_barrier_stranding(self) -> None:
+        """A finished thread can never join a barrier others wait at."""
+        if any(self._barrier_waiting.values()):
+            done = sum(1 for t in self._threads if t and t.done)
+            if done == 0:
+                return
+            waiting = {
+                b: sorted(procs)
+                for b, procs in self._barrier_waiting.items()
+                if procs
+            }
+            raise RuntimeDeadlockError(
+                f"threads finished while others wait at barriers {waiting}"
+            )
+
+    def _raise_deadlock(self) -> None:
+        details = []
+        for proc, op in sorted(self._blocked.items()):
+            if op.kind == OpKind.ACQUIRE:
+                details.append(f"p{proc} waits for lock {op.lock}")
+            else:
+                details.append(f"p{proc} waits at barrier {op.barrier}")
+        raise RuntimeDeadlockError("no runnable thread: " + "; ".join(details))

@@ -1,0 +1,5 @@
+"""Re-export of the simulation configuration for import convenience."""
+
+from repro.config import PAPER_N_PROCS, PAPER_PAGE_SIZES, SimConfig
+
+__all__ = ["SimConfig", "PAPER_PAGE_SIZES", "PAPER_N_PROCS"]

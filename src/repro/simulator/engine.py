@@ -1,0 +1,146 @@
+"""The trace-driven simulation engine.
+
+Replays a globally ordered trace against one protocol instance. Ordinary
+accesses are split at page boundaries (the trace is page-size
+independent); special accesses invoke the protocol's synchronization
+paths. Every write is tagged with its event sequence number as a unique
+token, which is what the consistency checker later audits.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple, Type, Union
+
+from repro.common.types import page_of, words_in_range
+from repro.protocols.base import Protocol
+from repro.protocols.registry import protocol_class
+from repro.config import SimConfig
+from repro.simulator.results import SimulationResult
+from repro.trace.events import EventType
+from repro.trace.stream import TraceStream
+from repro.trace.validate import validate_trace
+
+
+class Engine:
+    """Runs one trace through one protocol."""
+
+    def __init__(
+        self,
+        trace: TraceStream,
+        config: SimConfig,
+        protocol: Union[str, Type[Protocol]],
+        validate: bool = False,
+    ):
+        if trace.n_procs > config.n_procs:
+            raise ValueError(
+                f"trace uses {trace.n_procs} processors but config allows "
+                f"{config.n_procs}"
+            )
+        self.trace = trace
+        self.config = config
+        cls = protocol_class(protocol) if isinstance(protocol, str) else protocol
+        self.protocol: Protocol = cls(config)
+        if validate:
+            validate_trace(trace)
+
+    def run(self) -> SimulationResult:
+        """Replay the whole trace and return the accounting."""
+        protocol = self.protocol
+        page_size = self.config.page_size
+        record = self.config.record_values
+        read_values: Optional[List[Tuple[int, List[int]]]] = [] if record else None
+
+        for event in self.trace:
+            if event.type == EventType.READ:
+                assert event.addr is not None and event.size is not None
+                values: List[int] = []
+                for page, words in _split_access(event.addr, event.size, page_size):
+                    observed = protocol.read(event.proc, page, words)
+                    if record:
+                        values.extend(observed)
+                if record:
+                    assert read_values is not None
+                    read_values.append((event.seq, values))
+            elif event.type == EventType.WRITE:
+                assert event.addr is not None and event.size is not None
+                for page, words in _split_access(event.addr, event.size, page_size):
+                    protocol.write(event.proc, page, words, token=event.seq)
+            elif event.type == EventType.ACQUIRE:
+                assert event.lock is not None
+                protocol.acquire(event.proc, event.lock)
+            elif event.type == EventType.RELEASE:
+                assert event.lock is not None
+                protocol.release(event.proc, event.lock)
+            else:
+                assert event.barrier is not None
+                protocol.barrier(event.proc, event.barrier)
+
+        protocol.finish()
+        return self._result(read_values)
+
+    def _result(self, read_values) -> SimulationResult:
+        protocol = self.protocol
+        counters = {}
+        for attr in (
+            "intervals_closed",
+            "notices_sent",
+            "flushes",
+            "reconciles",
+            "write_faults",
+            "ping_pongs",
+            "retained_diff_bytes",
+            "peak_retained_diff_bytes",
+            "gc_collected_bytes",
+            "gc_runs",
+            "promotions",
+            "demotions",
+            "home_flushes",
+        ):
+            if hasattr(protocol, attr):
+                counters[attr] = getattr(protocol, attr)
+        return SimulationResult(
+            app=self.trace.meta.app,
+            protocol=protocol.name,
+            page_size=self.config.page_size,
+            n_procs=self.config.n_procs,
+            stats=protocol.network.stats,
+            events=len(self.trace),
+            cold_misses=protocol.cold_misses,
+            invalid_misses=protocol.invalid_misses,
+            diffs_fetched=protocol.diffs_fetched,
+            diff_bytes_fetched=protocol.diff_bytes_fetched,
+            counters=counters,
+            read_values=read_values,
+        )
+
+
+def _split_access(addr: int, size: int, page_size: int) -> List[Tuple[int, List[int]]]:
+    """Split a byte-range access into (page, word-indices) chunks."""
+    chunks: List[Tuple[int, List[int]]] = []
+    remaining = size
+    while remaining > 0:
+        page = page_of(addr, page_size)
+        words = list(words_in_range(addr, remaining, page_size))
+        chunks.append((page, words))
+        covered = (page + 1) * page_size - addr
+        addr += covered
+        remaining -= covered
+    return chunks
+
+
+def simulate(
+    trace: TraceStream,
+    protocol: Union[str, Type[Protocol]],
+    config: Optional[SimConfig] = None,
+    **config_overrides,
+) -> SimulationResult:
+    """One-call simulation: ``simulate(trace, "LI", page_size=1024)``.
+
+    ``config_overrides`` are applied on top of ``config`` (or a default
+    config sized to the trace's processor count).
+    """
+    if config is None:
+        config = SimConfig(n_procs=trace.n_procs)
+    if config_overrides:
+        config = config.with_options(**config_overrides)
+    return Engine(trace, config, protocol).run()

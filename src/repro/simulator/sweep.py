@@ -1,0 +1,76 @@
+"""Protocol x page-size sweeps — the shape of every evaluation figure.
+
+The paper plots, per application, total messages (odd-numbered figures)
+and total data (even-numbered) for the four protocols at page sizes 512,
+1024, 2048, 4096 and 8192 bytes. :func:`run_sweep` reruns one trace over
+that grid and :class:`SweepResult` exposes the series.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.protocols.registry import protocol_names
+from repro.config import PAPER_PAGE_SIZES, SimConfig
+from repro.simulator.engine import Engine
+from repro.simulator.results import SimulationResult
+from repro.trace.stream import TraceStream
+
+
+@dataclass
+class SweepResult:
+    """Results of one trace over a (protocol, page size) grid."""
+
+    app: str
+    protocols: List[str]
+    page_sizes: List[int]
+    grid: Dict[Tuple[str, int], SimulationResult] = field(default_factory=dict)
+
+    def result(self, protocol: str, page_size: int) -> SimulationResult:
+        return self.grid[(protocol, page_size)]
+
+    def message_series(self, protocol: str) -> List[int]:
+        """Total messages across page sizes (one figure line)."""
+        return [self.grid[(protocol, s)].messages for s in self.page_sizes]
+
+    def data_series(self, protocol: str) -> List[float]:
+        """Total data kbytes across page sizes (one figure line)."""
+        return [self.grid[(protocol, s)].data_kbytes for s in self.page_sizes]
+
+    def messages_table(self) -> Dict[str, List[int]]:
+        return {p: self.message_series(p) for p in self.protocols}
+
+    def data_table(self) -> Dict[str, List[float]]:
+        return {p: self.data_series(p) for p in self.protocols}
+
+    def format_table(self, metric: str = "messages") -> str:
+        """A text rendering of one figure (rows: protocols, cols: page sizes)."""
+        header = f"{self.app} — {metric} by page size"
+        lines = [header, "-" * len(header)]
+        lines.append("proto " + "".join(f"{s:>12}" for s in self.page_sizes))
+        for protocol in self.protocols:
+            if metric == "messages":
+                cells = "".join(f"{v:>12}" for v in self.message_series(protocol))
+            else:
+                cells = "".join(f"{v:>12.1f}" for v in self.data_series(protocol))
+            lines.append(f"{protocol:<6}{cells}")
+        return "\n".join(lines)
+
+
+def run_sweep(
+    trace: TraceStream,
+    protocols: Optional[Sequence[str]] = None,
+    page_sizes: Optional[Sequence[int]] = None,
+    config: Optional[SimConfig] = None,
+) -> SweepResult:
+    """Run ``trace`` across the protocol and page-size grid."""
+    protocols = list(protocols) if protocols else protocol_names()
+    page_sizes = list(page_sizes) if page_sizes else list(PAPER_PAGE_SIZES)
+    base = config or SimConfig(n_procs=trace.n_procs)
+    sweep = SweepResult(app=trace.meta.app, protocols=protocols, page_sizes=page_sizes)
+    for protocol in protocols:
+        for page_size in page_sizes:
+            engine = Engine(trace, base.with_page_size(page_size), protocol)
+            sweep.grid[(protocol, page_size)] = engine.run()
+    return sweep

@@ -1,0 +1,133 @@
+"""Runtime-cost estimation — the paper's stated future work.
+
+§7: "Further work will include an implementation of lazy release
+consistency to assess the runtime cost of the algorithm." The counting
+simulator can already bound that cost: given per-message software
+overhead, network bandwidth, and per-diff bookkeeping costs, the message
+and byte totals translate into estimated communication seconds. This is
+deliberately a *model*, configurable for 1992-era hardware (the numbers
+TreadMarks later reported on DECstations over 10 Mbit Ethernet) or
+anything newer — absolute values are only as good as the constants, but
+protocol *rankings* under a cost model are exactly what the paper left
+open.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+from repro.simulator.results import SimulationResult
+
+
+@dataclass(frozen=True)
+class TimingModel:
+    """Cost constants for turning counts into estimated seconds.
+
+    Attributes:
+        per_message_s: fixed software cost per message (kernel traps,
+            interrupts, protocol handling — the overhead §1 says makes
+            software DSM messages expensive).
+        per_byte_s: transmission cost per payload+control byte.
+        per_diff_create_s: making one diff (twin comparison).
+        per_diff_apply_s: applying one fetched diff.
+        per_interval_s: interval bookkeeping at a special access (lazy
+            protocols only; this is LRC's "more complex to implement"
+            overhead the paper flags in §1).
+    """
+
+    per_message_s: float = 1e-3
+    per_byte_s: float = 1e-7  # ~10 MB/s effective
+    per_diff_create_s: float = 2e-4
+    per_diff_apply_s: float = 1e-4
+    per_interval_s: float = 2e-5
+
+    @classmethod
+    def ethernet_1992(cls) -> "TimingModel":
+        """DECstation-class constants: ~1 ms/message, 10 Mbit Ethernet."""
+        return cls(
+            per_message_s=1e-3,
+            per_byte_s=8e-7,
+            per_diff_create_s=5e-4,
+            per_diff_apply_s=2e-4,
+            per_interval_s=5e-5,
+        )
+
+    @classmethod
+    def modern_cluster(cls) -> "TimingModel":
+        """Commodity-cluster constants: ~5 us/message, ~10 GB/s."""
+        return cls(
+            per_message_s=5e-6,
+            per_byte_s=1e-10,
+            per_diff_create_s=2e-6,
+            per_diff_apply_s=1e-6,
+            per_interval_s=2e-7,
+        )
+
+
+@dataclass
+class TimingEstimate:
+    """Estimated communication cost of one simulation run."""
+
+    protocol: str
+    message_seconds: float
+    byte_seconds: float
+    diff_seconds: float
+    bookkeeping_seconds: float
+
+    @property
+    def total_seconds(self) -> float:
+        return (
+            self.message_seconds
+            + self.byte_seconds
+            + self.diff_seconds
+            + self.bookkeeping_seconds
+        )
+
+    def breakdown(self) -> Dict[str, float]:
+        return {
+            "messages": self.message_seconds,
+            "bytes": self.byte_seconds,
+            "diffs": self.diff_seconds,
+            "bookkeeping": self.bookkeeping_seconds,
+        }
+
+    def format(self) -> str:
+        parts = ", ".join(f"{k}={v:.3f}s" for k, v in self.breakdown().items())
+        return f"{self.protocol}: {self.total_seconds:.3f}s ({parts})"
+
+
+def estimate_runtime(result: SimulationResult, model: TimingModel) -> TimingEstimate:
+    """Estimate the communication seconds of one simulation run."""
+    diffs_created = _diffs_created(result)
+    return TimingEstimate(
+        protocol=result.protocol,
+        message_seconds=result.messages * model.per_message_s,
+        byte_seconds=(result.data_bytes + result.control_bytes) * model.per_byte_s,
+        diff_seconds=(
+            diffs_created * model.per_diff_create_s
+            + result.diffs_fetched * model.per_diff_apply_s
+        ),
+        bookkeeping_seconds=result.counters.get("intervals_closed", 0)
+        * model.per_interval_s,
+    )
+
+
+def _diffs_created(result: SimulationResult) -> int:
+    """Diff creations: flush count for eager, fetched diffs bound lazy.
+
+    Lazy protocols create a diff per (modified page, interval); the
+    simulator's ``diffs_fetched`` counts each transferred diff once per
+    fetch, an upper bound on distinct creations actually needed. Eager
+    protocols diff every dirty page per flush.
+    """
+    if result.counters.get("flushes") is not None:
+        return result.counters.get("flushes", 0)
+    return result.diffs_fetched
+
+
+def compare_runtimes(
+    results: Dict[str, SimulationResult], model: TimingModel
+) -> Dict[str, TimingEstimate]:
+    """Estimate every protocol's cost under one model."""
+    return {name: estimate_runtime(result, model) for name, result in results.items()}

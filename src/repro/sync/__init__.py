@@ -1,0 +1,14 @@
+"""Synchronization substrate: distributed locks and centralized barriers.
+
+The SPLASH programs synchronize with exclusive locks and barriers (§5.2).
+Locks have a static *manager* (home) processor that tracks the current
+holder; acquiring a remote lock takes three messages — request to the
+manager, forward to the holder, grant to the acquirer. Barriers are
+implemented by a master: each client sends an arrival message and waits
+for an exit message, ``2(n-1)`` messages per episode.
+"""
+
+from repro.sync.lock_manager import LockDirectory, LockHop
+from repro.sync.barrier import BarrierMaster
+
+__all__ = ["LockDirectory", "LockHop", "BarrierMaster"]

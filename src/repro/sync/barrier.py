@@ -1,0 +1,47 @@
+"""Centralized barriers.
+
+"Barriers are implemented by sending an arrival message to the barrier
+master and waiting for the return of an exit message. Consequently,
+2(n-1) messages are used to implement a barrier" (§5.2) — the master's
+own arrival and exit are local.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Set
+
+from repro.common.types import BarrierId, ProcId
+
+
+class BarrierMaster:
+    """Tracks arrival episodes for every barrier id."""
+
+    def __init__(self, n_procs: int, master: ProcId = 0):
+        if n_procs < 1:
+            raise ValueError(f"need at least one processor, got {n_procs}")
+        if not 0 <= master < n_procs:
+            raise ValueError(f"master p{master} out of range")
+        self.n_procs = n_procs
+        self.master = master
+        self._arrived: Dict[BarrierId, Set[ProcId]] = {}
+        self.episodes_completed = 0
+
+    def arrivals(self, barrier: BarrierId) -> Set[ProcId]:
+        """Processors currently waiting at ``barrier``."""
+        return set(self._arrived.get(barrier, set()))
+
+    def record_arrival(self, proc: ProcId, barrier: BarrierId) -> bool:
+        """Record an arrival; True when this arrival completes the episode."""
+        waiting = self._arrived.setdefault(barrier, set())
+        if proc in waiting:
+            raise ValueError(f"p{proc} arrived twice at barrier {barrier}")
+        waiting.add(proc)
+        if len(waiting) == self.n_procs:
+            self._arrived[barrier] = set()
+            self.episodes_completed += 1
+            return True
+        return False
+
+    def exit_targets(self) -> List[ProcId]:
+        """Processors that receive an exit message (everyone but the master)."""
+        return [p for p in range(self.n_procs) if p != self.master]

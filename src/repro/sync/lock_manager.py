@@ -1,0 +1,92 @@
+"""Distributed exclusive locks with static managers.
+
+Each lock is assigned a manager processor statically (``lock mod n``).
+The manager always knows the current holder. An acquire routes:
+
+1. ``LOCK_REQUEST``  acquirer -> manager
+2. ``LOCK_FORWARD``  manager  -> holder (last releaser)
+3. ``LOCK_GRANT``    holder   -> acquirer
+
+Hops whose source equals their destination (the acquirer manages the
+lock itself, or the manager still holds it) cost nothing — the
+:class:`~repro.network.network.Network` does not count self-messages —
+so a remote acquire costs at most three messages, matching Table 1. In
+the lazy protocols the grant carries the acquirer-missing write notices;
+the grantor learns what is missing from the acquirer's vector timestamp,
+carried on the request/forward hops (§4.2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from repro.common.types import LockId, ProcId
+from repro.network.message import MessageKind
+
+
+@dataclass(frozen=True)
+class LockHop:
+    """One message hop of a lock acquisition."""
+
+    kind: MessageKind
+    src: ProcId
+    dst: ProcId
+
+
+class LockDirectory:
+    """Tracks, per lock: the static manager and the current last releaser."""
+
+    def __init__(self, n_procs: int):
+        if n_procs < 1:
+            raise ValueError(f"need at least one processor, got {n_procs}")
+        self.n_procs = n_procs
+        self._last_releaser: Dict[LockId, ProcId] = {}
+        self._holder: Dict[LockId, Optional[ProcId]] = {}
+
+    def manager_of(self, lock: LockId) -> ProcId:
+        """The lock's statically assigned manager processor."""
+        return lock % self.n_procs
+
+    def last_releaser(self, lock: LockId) -> Optional[ProcId]:
+        """Processor that last released the lock, or None if never held."""
+        return self._last_releaser.get(lock)
+
+    def holder(self, lock: LockId) -> Optional[ProcId]:
+        return self._holder.get(lock)
+
+    def grantor_of(self, lock: LockId) -> ProcId:
+        """Who grants the next acquire: the last releaser, else the manager."""
+        releaser = self._last_releaser.get(lock)
+        return releaser if releaser is not None else self.manager_of(lock)
+
+    def acquire_route(self, acquirer: ProcId, lock: LockId) -> List[LockHop]:
+        """The message hops for ``acquirer`` to obtain ``lock``.
+
+        Does not mutate state; call :meth:`record_acquire` after the hops
+        have been sent.
+        """
+        manager = self.manager_of(lock)
+        grantor = self.grantor_of(lock)
+        return [
+            LockHop(MessageKind.LOCK_REQUEST, acquirer, manager),
+            LockHop(MessageKind.LOCK_FORWARD, manager, grantor),
+            LockHop(MessageKind.LOCK_GRANT, grantor, acquirer),
+        ]
+
+    def record_acquire(self, acquirer: ProcId, lock: LockId) -> None:
+        if self._holder.get(lock) is not None:
+            raise ValueError(
+                f"lock {lock} acquired by p{acquirer} while held by "
+                f"p{self._holder[lock]}"
+            )
+        self._holder[lock] = acquirer
+
+    def record_release(self, releaser: ProcId, lock: LockId) -> None:
+        if self._holder.get(lock) != releaser:
+            raise ValueError(
+                f"lock {lock} released by p{releaser} but held by "
+                f"{self._holder.get(lock)}"
+            )
+        self._holder[lock] = None
+        self._last_releaser[lock] = releaser

@@ -1,0 +1,41 @@
+"""Trace substrate: shared-memory access traces and their codecs.
+
+The paper's methodology (§5.1) is trace-driven: a tracer (Tango) records
+every shared access and synchronization operation of a 16-processor
+execution; the protocol simulator replays the stream. This package defines
+the event records, the in-memory :class:`TraceStream`, text and binary
+file codecs, well-formedness validation, and sharing statistics.
+
+Traces are page-size independent (byte addresses); the simulator applies
+page boundaries at replay time, which is how one trace set supports the
+paper's 512..8192-byte page-size sweep.
+"""
+
+from repro.trace.events import Event, EventType
+from repro.trace.stream import TraceStream, TraceMeta
+from repro.trace.codec import (
+    dump_text,
+    load_text,
+    dump_binary,
+    load_binary,
+    save_trace,
+    load_trace,
+)
+from repro.trace.validate import validate_trace
+from repro.trace.stats import TraceStats, compute_stats
+
+__all__ = [
+    "Event",
+    "EventType",
+    "TraceStream",
+    "TraceMeta",
+    "dump_text",
+    "load_text",
+    "dump_binary",
+    "load_binary",
+    "save_trace",
+    "load_trace",
+    "validate_trace",
+    "TraceStats",
+    "compute_stats",
+]

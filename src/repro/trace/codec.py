@@ -1,0 +1,217 @@
+"""Trace file codecs: a human-readable text format and a compact binary one.
+
+Text format (``.trc``)::
+
+    # lrc-trace v1
+    # n_procs 16
+    # app water
+    # param molecules=64
+    # region grid 4096 16384
+    R 3 0x1a30 4
+    W 3 0x1a30 4
+    A 3 7
+    L 3 7
+    B 3 0
+
+Binary format (``.trcb``): a 16-byte magic/header, a UTF-8 JSON metadata
+block, then one fixed 24-byte little-endian record per event
+(type:u8, proc:u8, pad:u16, a:u32, b:u64, size:u32, pad:u32).
+"""
+
+from __future__ import annotations
+
+import io
+import json
+import struct
+from pathlib import Path
+from typing import IO, Union
+
+from repro.common.errors import TraceError
+from repro.trace.events import Event, EventType
+from repro.trace.stream import TraceMeta, TraceStream
+
+_TEXT_MAGIC = "# lrc-trace v1"
+_BINARY_MAGIC = b"LRCTRACE"
+_RECORD = struct.Struct("<BBHIQII")
+_TYPE_CODES = {t: i for i, t in enumerate(EventType)}
+_CODE_TYPES = {i: t for t, i in _TYPE_CODES.items()}
+
+
+# -- text ------------------------------------------------------------------
+
+
+def dump_text(trace: TraceStream, fp: IO[str]) -> None:
+    """Write a trace in the text format."""
+    fp.write(_TEXT_MAGIC + "\n")
+    fp.write(f"# n_procs {trace.meta.n_procs}\n")
+    fp.write(f"# app {trace.meta.app}\n")
+    for key, value in sorted(trace.meta.params.items()):
+        fp.write(f"# param {key}={value}\n")
+    for name, (base, size) in sorted(trace.meta.regions.items()):
+        fp.write(f"# region {name} {base} {size}\n")
+    for event in trace:
+        fp.write(_format_event(event) + "\n")
+
+
+def _format_event(event: Event) -> str:
+    if event.type.is_ordinary:
+        return f"{event.type.value} {event.proc} {event.addr:#x} {event.size}"
+    if event.type == EventType.BARRIER:
+        return f"B {event.proc} {event.barrier}"
+    return f"{event.type.value} {event.proc} {event.lock}"
+
+
+def load_text(fp: IO[str]) -> TraceStream:
+    """Parse a trace in the text format."""
+    first = fp.readline().rstrip("\n")
+    if first != _TEXT_MAGIC:
+        raise TraceError(f"not a text trace (bad magic line: {first!r})")
+    meta = TraceMeta(n_procs=1)
+    trace = TraceStream(meta)
+    for lineno, raw in enumerate(fp, start=2):
+        line = raw.strip()
+        if not line:
+            continue
+        if line.startswith("#"):
+            _parse_header(meta, line, lineno)
+            continue
+        trace.append(_parse_event(line, lineno))
+    return trace
+
+
+def _parse_header(meta: TraceMeta, line: str, lineno: int) -> None:
+    fields = line[1:].split()
+    if not fields:
+        return
+    key = fields[0]
+    try:
+        if key == "n_procs":
+            meta.n_procs = int(fields[1])
+        elif key == "app":
+            meta.app = fields[1]
+        elif key == "param":
+            name, _, value = fields[1].partition("=")
+            meta.params[name] = value
+        elif key == "region":
+            meta.regions[fields[1]] = (int(fields[2]), int(fields[3]))
+    except (IndexError, ValueError) as exc:
+        raise TraceError(f"line {lineno}: bad header {line!r}") from exc
+
+
+def _parse_event(line: str, lineno: int) -> Event:
+    fields = line.split()
+    try:
+        type_ = EventType(fields[0])
+        proc = int(fields[1])
+        if type_.is_ordinary:
+            return Event(type_, proc, addr=int(fields[2], 0), size=int(fields[3]))
+        if type_ == EventType.BARRIER:
+            return Event(type_, proc, barrier=int(fields[2]))
+        return Event(type_, proc, lock=int(fields[2]))
+    except (IndexError, ValueError, KeyError) as exc:
+        raise TraceError(f"line {lineno}: bad event {line!r}") from exc
+
+
+# -- binary ------------------------------------------------------------------
+
+
+def dump_binary(trace: TraceStream, fp: IO[bytes]) -> None:
+    """Write a trace in the compact binary format."""
+    meta_json = json.dumps(
+        {
+            "n_procs": trace.meta.n_procs,
+            "app": trace.meta.app,
+            "params": trace.meta.params,
+            "regions": {k: list(v) for k, v in trace.meta.regions.items()},
+        }
+    ).encode("utf-8")
+    fp.write(_BINARY_MAGIC)
+    fp.write(struct.pack("<II", len(meta_json), len(trace)))
+    fp.write(meta_json)
+    for event in trace:
+        fp.write(_pack_event(event))
+
+
+def _pack_event(event: Event) -> bytes:
+    if event.type.is_ordinary:
+        a, b, size = 0, event.addr, event.size
+    elif event.type == EventType.BARRIER:
+        a, b, size = event.barrier, 0, 0
+    else:
+        a, b, size = event.lock, 0, 0
+    return _RECORD.pack(_TYPE_CODES[event.type], event.proc, 0, a, b, size, 0)
+
+
+def load_binary(fp: IO[bytes]) -> TraceStream:
+    """Parse a trace in the binary format."""
+    magic = fp.read(len(_BINARY_MAGIC))
+    if magic != _BINARY_MAGIC:
+        raise TraceError(f"not a binary trace (magic {magic!r})")
+    meta_len, n_events = struct.unpack("<II", fp.read(8))
+    meta_raw = json.loads(fp.read(meta_len).decode("utf-8"))
+    meta = TraceMeta(
+        n_procs=meta_raw["n_procs"],
+        app=meta_raw.get("app", "unknown"),
+        params=dict(meta_raw.get("params", {})),
+        regions={k: (v[0], v[1]) for k, v in meta_raw.get("regions", {}).items()},
+    )
+    trace = TraceStream(meta)
+    for _ in range(n_events):
+        record = fp.read(_RECORD.size)
+        if len(record) != _RECORD.size:
+            raise TraceError("truncated binary trace")
+        trace.append(_unpack_event(record))
+    return trace
+
+
+def _unpack_event(record: bytes) -> Event:
+    code, proc, _, a, b, size, _ = _RECORD.unpack(record)
+    try:
+        type_ = _CODE_TYPES[code]
+    except KeyError as exc:
+        raise TraceError(f"unknown event type code {code}") from exc
+    if type_.is_ordinary:
+        return Event(type_, proc, addr=b, size=size)
+    if type_ == EventType.BARRIER:
+        return Event(type_, proc, barrier=a)
+    return Event(type_, proc, lock=a)
+
+
+# -- path-level helpers ----------------------------------------------------
+
+
+def save_trace(trace: TraceStream, path: Union[str, Path]) -> None:
+    """Save a trace; ``.trcb`` suffix selects binary, anything else text."""
+    path = Path(path)
+    if path.suffix == ".trcb":
+        with open(path, "wb") as fp:
+            dump_binary(trace, fp)
+    else:
+        with open(path, "w", encoding="utf-8") as fp:
+            dump_text(trace, fp)
+
+
+def load_trace(path: Union[str, Path]) -> TraceStream:
+    """Load a trace saved by :func:`save_trace`."""
+    path = Path(path)
+    if path.suffix == ".trcb":
+        with open(path, "rb") as fp:
+            return load_binary(fp)
+    with open(path, "r", encoding="utf-8") as fp:
+        return load_text(fp)
+
+
+def roundtrip_text(trace: TraceStream) -> TraceStream:
+    """Encode then decode through the text codec (testing helper)."""
+    buf = io.StringIO()
+    dump_text(trace, buf)
+    buf.seek(0)
+    return load_text(buf)
+
+
+def roundtrip_binary(trace: TraceStream) -> TraceStream:
+    """Encode then decode through the binary codec (testing helper)."""
+    buf = io.BytesIO()
+    dump_binary(trace, buf)
+    buf.seek(0)
+    return load_binary(buf)

@@ -1,0 +1,110 @@
+"""Trace event records.
+
+Five event types cover everything the SPLASH programs do to shared state:
+ordinary reads and writes, and the special accesses — exclusive lock
+acquire/release and barrier arrival. The stream is a single global
+interleaving (as produced by a sequentially consistent tracer); per-event
+``seq`` numbers give writes unique identities, which the consistency
+checker uses as write tokens.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Optional
+
+from repro.common.types import Addr, BarrierId, LockId, ProcId
+
+
+class EventType(enum.Enum):
+    """The kind of one trace event."""
+
+    READ = "R"
+    WRITE = "W"
+    ACQUIRE = "A"
+    RELEASE = "L"
+    BARRIER = "B"
+
+    @property
+    def is_ordinary(self) -> bool:
+        """Ordinary (data) access, as opposed to a special (sync) access."""
+        return self in (EventType.READ, EventType.WRITE)
+
+    @property
+    def is_special(self) -> bool:
+        return not self.is_ordinary
+
+
+class Event:
+    """One trace event.
+
+    Exactly one of (``addr``/``size``), ``lock``, ``barrier`` is meaningful,
+    depending on ``type``. ``seq`` is the event's position in the global
+    stream and doubles as the unique write token.
+    """
+
+    __slots__ = ("type", "proc", "addr", "size", "lock", "barrier", "seq")
+
+    def __init__(
+        self,
+        type: EventType,
+        proc: ProcId,
+        addr: Optional[Addr] = None,
+        size: Optional[int] = None,
+        lock: Optional[LockId] = None,
+        barrier: Optional[BarrierId] = None,
+        seq: int = -1,
+    ):
+        self.type = type
+        self.proc = proc
+        self.addr = addr
+        self.size = size
+        self.lock = lock
+        self.barrier = barrier
+        self.seq = seq
+
+    # -- constructors --------------------------------------------------------
+
+    @classmethod
+    def read(cls, proc: ProcId, addr: Addr, size: int = 4) -> "Event":
+        return cls(EventType.READ, proc, addr=addr, size=size)
+
+    @classmethod
+    def write(cls, proc: ProcId, addr: Addr, size: int = 4) -> "Event":
+        return cls(EventType.WRITE, proc, addr=addr, size=size)
+
+    @classmethod
+    def acquire(cls, proc: ProcId, lock: LockId) -> "Event":
+        return cls(EventType.ACQUIRE, proc, lock=lock)
+
+    @classmethod
+    def release(cls, proc: ProcId, lock: LockId) -> "Event":
+        return cls(EventType.RELEASE, proc, lock=lock)
+
+    @classmethod
+    def at_barrier(cls, proc: ProcId, barrier: BarrierId) -> "Event":
+        return cls(EventType.BARRIER, proc, barrier=barrier)
+
+    # -- helpers -------------------------------------------------------------
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Event):
+            return NotImplemented
+        return (
+            self.type == other.type
+            and self.proc == other.proc
+            and self.addr == other.addr
+            and self.size == other.size
+            and self.lock == other.lock
+            and self.barrier == other.barrier
+        )
+
+    def __hash__(self) -> int:
+        return hash((self.type, self.proc, self.addr, self.size, self.lock, self.barrier))
+
+    def __repr__(self) -> str:
+        if self.type.is_ordinary:
+            return f"Event({self.type.value} p{self.proc} {self.addr:#x}+{self.size})"
+        if self.type == EventType.BARRIER:
+            return f"Event(B p{self.proc} b{self.barrier})"
+        return f"Event({self.type.value} p{self.proc} l{self.lock})"

@@ -1,0 +1,87 @@
+"""In-memory traces: an event list plus run metadata."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
+
+from repro.common.types import Addr
+from repro.trace.events import Event, EventType
+
+
+@dataclass
+class TraceMeta:
+    """Metadata describing how a trace was produced.
+
+    ``regions`` maps region names to (base, size) so analyses can attribute
+    traffic to data structures; it does not affect simulation.
+    """
+
+    n_procs: int
+    app: str = "unknown"
+    params: Dict[str, str] = field(default_factory=dict)
+    regions: Dict[str, Tuple[Addr, int]] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.n_procs < 1:
+            raise ValueError(f"n_procs must be >= 1, got {self.n_procs}")
+
+
+class TraceStream:
+    """A complete trace: globally ordered events plus metadata."""
+
+    def __init__(self, meta: TraceMeta, events: Optional[Sequence[Event]] = None):
+        self.meta = meta
+        self._events: List[Event] = []
+        if events:
+            for event in events:
+                self.append(event)
+
+    def append(self, event: Event) -> None:
+        """Append an event, assigning its global sequence number."""
+        event.seq = len(self._events)
+        self._events.append(event)
+
+    @property
+    def events(self) -> List[Event]:
+        return self._events
+
+    @property
+    def n_procs(self) -> int:
+        return self.meta.n_procs
+
+    def __len__(self) -> int:
+        return len(self._events)
+
+    def __iter__(self) -> Iterator[Event]:
+        return iter(self._events)
+
+    def __getitem__(self, index: int) -> Event:
+        return self._events[index]
+
+    # -- summaries -------------------------------------------------------------
+
+    def counts_by_type(self) -> Dict[EventType, int]:
+        counts = {t: 0 for t in EventType}
+        for event in self._events:
+            counts[event.type] += 1
+        return counts
+
+    def max_addr(self) -> Addr:
+        """Highest byte address touched (exclusive end), 0 if no data accesses."""
+        top = 0
+        for event in self._events:
+            if event.type.is_ordinary:
+                assert event.addr is not None and event.size is not None
+                top = max(top, event.addr + event.size)
+        return top
+
+    def __repr__(self) -> str:
+        counts = self.counts_by_type()
+        return (
+            f"TraceStream({self.meta.app!r}, n_procs={self.n_procs}, "
+            f"{len(self)} events: "
+            f"{counts[EventType.READ]}R/{counts[EventType.WRITE]}W/"
+            f"{counts[EventType.ACQUIRE]}A/{counts[EventType.RELEASE]}L/"
+            f"{counts[EventType.BARRIER]}B)"
+        )

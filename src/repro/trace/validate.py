@@ -1,0 +1,114 @@
+"""Trace well-formedness validation.
+
+A trace is well-formed when it could have been produced by a real
+execution: locks alternate acquire/release per holder, nobody releases a
+lock it does not hold, every processor reaches every barrier episode
+exactly once before the episode completes, and data accesses are sane.
+The protocol simulator requires a well-formed trace; validation failures
+raise :class:`~repro.common.errors.TraceError` with the offending event.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Set
+
+from repro.common.errors import TraceError
+from repro.common.types import BarrierId, LockId, ProcId
+from repro.trace.events import EventType
+from repro.trace.stream import TraceStream
+
+
+def validate_trace(trace: TraceStream) -> None:
+    """Raise :class:`TraceError` if ``trace`` is not well-formed."""
+    n_procs = trace.n_procs
+    lock_holder: Dict[LockId, Optional[ProcId]] = {}
+    held_by_proc: Dict[ProcId, Set[LockId]] = {p: set() for p in range(n_procs)}
+    barrier_arrived: Dict[BarrierId, Set[ProcId]] = {}
+
+    for event in trace:
+        if not 0 <= event.proc < n_procs:
+            raise TraceError(f"event {event.seq}: processor out of range: {event!r}")
+
+        if event.type.is_ordinary:
+            _check_access(event)
+        elif event.type == EventType.ACQUIRE:
+            _check_acquire(event, lock_holder, held_by_proc)
+        elif event.type == EventType.RELEASE:
+            _check_release(event, lock_holder, held_by_proc)
+        else:
+            _check_barrier(event, barrier_arrived, held_by_proc, n_procs)
+
+    dangling = {lock: holder for lock, holder in lock_holder.items() if holder is not None}
+    if dangling:
+        raise TraceError(f"trace ends with locks still held: {dangling}")
+    incomplete = {b: arrived for b, arrived in barrier_arrived.items() if arrived}
+    if incomplete:
+        raise TraceError(f"trace ends inside barrier episodes: {incomplete}")
+
+
+def _check_access(event) -> None:
+    if event.addr is None or event.addr < 0:
+        raise TraceError(f"event {event.seq}: bad address: {event!r}")
+    if event.size is None or event.size <= 0:
+        raise TraceError(f"event {event.seq}: bad size: {event!r}")
+
+
+def _check_acquire(event, lock_holder, held_by_proc) -> None:
+    if event.lock is None:
+        raise TraceError(f"event {event.seq}: acquire without lock id")
+    holder = lock_holder.get(event.lock)
+    if holder is not None:
+        raise TraceError(
+            f"event {event.seq}: p{event.proc} acquires lock {event.lock} "
+            f"held by p{holder}"
+        )
+    lock_holder[event.lock] = event.proc
+    held_by_proc[event.proc].add(event.lock)
+
+
+def _check_release(event, lock_holder, held_by_proc) -> None:
+    if event.lock is None:
+        raise TraceError(f"event {event.seq}: release without lock id")
+    if lock_holder.get(event.lock) != event.proc:
+        raise TraceError(
+            f"event {event.seq}: p{event.proc} releases lock {event.lock} "
+            f"it does not hold (holder: {lock_holder.get(event.lock)})"
+        )
+    lock_holder[event.lock] = None
+    held_by_proc[event.proc].discard(event.lock)
+
+
+def _check_barrier(event, barrier_arrived, held_by_proc, n_procs: int) -> None:
+    if event.barrier is None:
+        raise TraceError(f"event {event.seq}: barrier without id")
+    if held_by_proc[event.proc]:
+        raise TraceError(
+            f"event {event.seq}: p{event.proc} enters barrier {event.barrier} "
+            f"while holding locks {held_by_proc[event.proc]}"
+        )
+    arrived = barrier_arrived.setdefault(event.barrier, set())
+    if event.proc in arrived:
+        raise TraceError(
+            f"event {event.seq}: p{event.proc} arrives twice at barrier "
+            f"episode {event.barrier}"
+        )
+    arrived.add(event.proc)
+    if len(arrived) == n_procs:
+        # Episode complete; the barrier id may be reused for the next episode.
+        barrier_arrived[event.barrier] = set()
+
+
+def barrier_episodes(trace: TraceStream) -> List[BarrierId]:
+    """Barrier ids in episode-completion order (each episode listed once)."""
+    n_procs = trace.n_procs
+    arrived: Dict[BarrierId, Set[ProcId]] = {}
+    episodes: List[BarrierId] = []
+    for event in trace:
+        if event.type != EventType.BARRIER:
+            continue
+        waiting = arrived.setdefault(event.barrier, set())
+        waiting.add(event.proc)
+        if len(waiting) == n_procs:
+            episodes.append(event.barrier)
+            arrived[event.barrier] = set()
+    return episodes

@@ -1,0 +1,69 @@
+"""Shared fixtures: small app traces and helper builders."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.apps import cholesky, locusroute, mp3d, pthor, water
+from repro.trace.events import Event
+from repro.trace.stream import TraceMeta, TraceStream
+
+#: Small-scale parameters per app so whole-suite runs stay fast.
+SMALL_SCALE = {
+    "locusroute": dict(grid_width=32, grid_height=8, n_wires=16, n_regions=4),
+    "cholesky": dict(n_columns=24, column_words=16, fill_degree=3),
+    "mp3d": dict(n_particles=48, n_cells=24, n_cell_locks=4, timesteps=2),
+    "water": dict(n_molecules=24, timesteps=2, cutoff=0.4),
+    "pthor": dict(n_elements=24, windows=2, activations_per_window=3),
+}
+
+_GENERATORS = {
+    "locusroute": locusroute.generate,
+    "cholesky": cholesky.generate,
+    "mp3d": mp3d.generate,
+    "water": water.generate,
+    "pthor": pthor.generate,
+}
+
+
+def small_trace(app: str, n_procs: int = 4, seed: int = 1) -> TraceStream:
+    """A small but structurally faithful trace of one app."""
+    return _GENERATORS[app](n_procs=n_procs, seed=seed, **SMALL_SCALE[app])
+
+
+@pytest.fixture(scope="session", params=sorted(_GENERATORS))
+def app_trace(request) -> TraceStream:
+    """One small trace per application (parametrized)."""
+    return small_trace(request.param)
+
+
+@pytest.fixture(scope="session")
+def locusroute_trace() -> TraceStream:
+    return small_trace("locusroute")
+
+
+@pytest.fixture(scope="session")
+def water_trace() -> TraceStream:
+    return small_trace("water")
+
+
+def build_trace(n_procs: int, events) -> TraceStream:
+    """A hand-written trace from an event list."""
+    trace = TraceStream(TraceMeta(n_procs=n_procs, app="hand"))
+    for event in events:
+        trace.append(event)
+    return trace
+
+
+def lock_chain_trace(n_procs: int = 3, rounds: int = 2, addr: int = 0x100) -> TraceStream:
+    """The Figure 3/4 pattern as a raw event list."""
+    events = []
+    for _ in range(rounds):
+        for proc in range(n_procs):
+            events += [
+                Event.acquire(proc, 0),
+                Event.read(proc, addr),
+                Event.write(proc, addr),
+                Event.release(proc, 0),
+            ]
+    return build_trace(n_procs, events)

@@ -1,0 +1,115 @@
+"""Invariant matrix over every registered protocol.
+
+Each property here must hold for all seven protocols (LI, LU, EI, EU,
+EW, LH, HLRC) on every workload kernel — the broadest correctness net in
+the suite after the consistency checker itself.
+"""
+
+import pytest
+
+from repro.analysis.checker import check_protocol
+from repro.protocols.registry import all_protocol_names
+from repro.simulator.engine import simulate
+from tests.conftest import lock_chain_trace, small_trace
+
+ALL = all_protocol_names()
+
+
+class TestUniversalInvariants:
+    @pytest.mark.parametrize("protocol", ALL)
+    def test_consistent_on_lock_chain(self, protocol):
+        trace = lock_chain_trace(n_procs=4, rounds=4)
+        assert check_protocol(trace, protocol, page_size=512).ok
+
+    @pytest.mark.parametrize("protocol", ALL)
+    def test_consistent_on_every_app(self, app_trace, protocol):
+        assert check_protocol(app_trace, protocol, page_size=1024).ok
+
+    @pytest.mark.parametrize("protocol", ALL)
+    def test_deterministic(self, water_trace, protocol):
+        a = simulate(water_trace, protocol, page_size=1024)
+        b = simulate(water_trace, protocol, page_size=1024)
+        assert a.messages == b.messages and a.data_bytes == b.data_bytes
+
+    @pytest.mark.parametrize("protocol", ALL)
+    def test_no_negative_counters(self, water_trace, protocol):
+        result = simulate(water_trace, protocol, page_size=512)
+        assert result.messages >= 0 and result.data_bytes >= 0
+        for name, value in result.counters.items():
+            assert value >= 0, (protocol, name, value)
+
+    @pytest.mark.parametrize("protocol", ALL)
+    def test_event_count_preserved(self, water_trace, protocol):
+        result = simulate(water_trace, protocol, page_size=2048)
+        assert result.events == len(water_trace)
+
+    @pytest.mark.parametrize("protocol", ALL)
+    def test_category_totals_sum(self, water_trace, protocol):
+        result = simulate(water_trace, protocol, page_size=2048)
+        assert sum(result.category_messages().values()) == result.messages
+        assert sum(result.category_data_bytes().values()) == result.data_bytes
+
+
+class TestFamilyInvariants:
+    @pytest.mark.parametrize("protocol", ["LI", "LU", "LH", "HLRC"])
+    def test_lazy_lock_transfer_is_three_messages_worst_case(self, protocol):
+        """A remote acquire costs exactly 3 lock-category messages for
+        every lazy protocol (notices ride the grant)."""
+        trace = lock_chain_trace(n_procs=3, rounds=1)
+        result = simulate(trace, protocol, page_size=512)
+        acquires_remote = 2  # p1 and p2 take the lock from someone else
+        assert result.category_messages()["lock"] <= 3 * acquires_remote + 1
+
+    @pytest.mark.parametrize("protocol", ["LI", "LU", "LH"])
+    def test_homeless_lazy_sends_nothing_at_unlock(self, app_trace, protocol):
+        result = simulate(app_trace, protocol, page_size=1024)
+        assert result.category_messages()["unlock"] == 0
+
+    def test_hlrc_unlock_traffic_bounded_by_dirty_intervals(self, app_trace):
+        """HLRC's unlock messages are home flushes: 2 per flush batch."""
+        result = simulate(app_trace, "HLRC", page_size=1024)
+        flushes = result.counters["home_flushes"]
+        assert result.category_messages()["unlock"] <= 2 * flushes
+
+    @pytest.mark.parametrize("protocol", ["EI", "EU"])
+    def test_eager_sends_nothing_at_acquire_beyond_transfer(self, protocol):
+        trace = lock_chain_trace(n_procs=3, rounds=2)
+        result = simulate(trace, protocol, page_size=512)
+        # Lock category counts only the 3-hop transfers, no payload pulls.
+        from repro.network.message import MessageKind
+
+        assert result.stats.messages_of(MessageKind.ACQUIRE_DIFF_REQUEST) == 0
+
+    @pytest.mark.parametrize("protocol", ["LU", "EU", "HLRC"])
+    def test_update_family_no_invalid_misses_where_applicable(self, protocol):
+        """LU and EU never miss on invalidated pages; HLRC (invalidate
+        policy) legitimately does."""
+        trace = small_trace("water", n_procs=4)
+        result = simulate(trace, protocol, page_size=1024)
+        if protocol in ("LU", "EU"):
+            assert result.invalid_misses == 0
+        else:
+            assert result.invalid_misses >= 0
+
+
+class TestCrossProtocolOrderings:
+    def test_data_orderings_on_migratory_kernel(self):
+        trace = small_trace("locusroute", n_procs=8)
+        data = {
+            p: simulate(trace, p, page_size=2048).data_bytes
+            for p in ("LI", "EI", "EW", "HLRC")
+        }
+        # diffs < whole-pages-from-home < eager reload < SC ping-pong.
+        assert data["LI"] < data["HLRC"]
+        assert data["HLRC"] < data["EW"]
+        assert data["LI"] < data["EI"] < data["EW"]
+
+    def test_memory_orderings(self):
+        trace = small_trace("mp3d", n_procs=8)
+        def peak(p):
+            return simulate(trace, p, page_size=1024).counters.get(
+                "peak_retained_diff_bytes", 0
+            )
+
+        assert peak("HLRC") < peak("LI")
+        assert peak("EI") == 0  # eager keeps no interval diffs

@@ -1,0 +1,72 @@
+"""Tests for sharing analysis and report formatting."""
+
+from repro.analysis.report import format_comparison, format_figure_table, format_table1
+from repro.analysis.sharing import analyze_sharing
+from repro.simulator.engine import simulate
+from repro.simulator.sweep import run_sweep
+from repro.trace.events import Event
+from repro.trace.stream import TraceMeta, TraceStream
+from tests.conftest import build_trace, lock_chain_trace, small_trace
+
+
+class TestSharingAnalysis:
+    def test_regions_attributed(self):
+        trace = small_trace("water")
+        report = analyze_sharing(trace, page_size=256)
+        assert "molecules" in report.regions
+        assert report.n_pages > 0
+        assert report.regions["molecules"].pages >= 1
+
+    def test_false_sharing_fraction_bounds(self):
+        trace = small_trace("locusroute")
+        report = analyze_sharing(trace, page_size=1024)
+        assert 0.0 <= report.false_sharing_fraction <= 1.0
+
+    def test_unmapped_page(self):
+        trace = TraceStream(TraceMeta(n_procs=1, app="x"))
+        trace.append(Event.read(0, 0x10000))
+        report = analyze_sharing(trace, page_size=512)
+        assert "<unmapped>" in report.regions
+
+    def test_straddling_page_attributed_to_pair(self):
+        trace = TraceStream(
+            TraceMeta(
+                n_procs=1,
+                app="x",
+                regions={"a": (0, 256), "b": (256, 256)},
+            )
+        )
+        trace.append(Event.read(0, 0x10))
+        report = analyze_sharing(trace, page_size=512)
+        assert "a+b" in report.regions
+
+    def test_format_is_printable(self):
+        trace = small_trace("mp3d")
+        text = analyze_sharing(trace, page_size=512).format()
+        assert "mp3d" in text and "pages" in text
+
+
+class TestReports:
+    def test_figure_table(self):
+        sweep = run_sweep(lock_chain_trace(), page_sizes=[512, 1024])
+        text = format_figure_table(sweep, "Figure 5", "messages")
+        assert "Figure 5" in text and "1024" in text
+        data_text = format_figure_table(sweep, "Figure 6", "data")
+        assert "kbytes" in data_text
+
+    def test_table1_format(self):
+        trace = lock_chain_trace()
+        results = {
+            name: simulate(trace, name, page_size=512)
+            for name in ("LI", "LU", "EI", "EU")
+        }
+        text = format_table1(results)
+        assert "miss" in text and "barrier" in text and "LI" in text
+
+    def test_comparison_normalized(self):
+        trace = lock_chain_trace()
+        results = [
+            simulate(trace, name, page_size=512) for name in ("LI", "EI")
+        ]
+        text = format_comparison(results, baseline="EI")
+        assert "1.00x" in text

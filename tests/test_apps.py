@@ -1,0 +1,166 @@
+"""Workload kernel tests: validity, determinism, scaling, sharing patterns."""
+
+import pytest
+
+from repro.apps import APPS, generate
+from repro.apps import synthetic
+from repro.hb.graph import HbGraph
+from repro.trace.events import EventType
+from repro.trace.stats import compute_stats
+from repro.trace.validate import validate_trace
+from tests.conftest import SMALL_SCALE, small_trace
+
+
+class TestRegistry:
+    def test_all_five_apps_registered(self):
+        assert sorted(APPS) == ["cholesky", "locusroute", "mp3d", "pthor", "water"]
+
+    def test_generate_dispatch(self):
+        trace = generate("water", n_procs=2, seed=0, **SMALL_SCALE["water"])
+        assert trace.meta.app == "water"
+
+    def test_generate_unknown(self):
+        with pytest.raises(KeyError):
+            generate("doom")
+
+
+class TestEveryApp:
+    def test_trace_validates(self, app_trace):
+        validate_trace(app_trace)
+
+    def test_race_free(self, app_trace):
+        assert HbGraph(app_trace).races(max_reported=1) == []
+
+    def test_all_procs_participate(self, app_trace):
+        procs = {event.proc for event in app_trace}
+        assert procs == set(range(app_trace.n_procs))
+
+    def test_regions_recorded(self, app_trace):
+        assert app_trace.meta.regions
+        top = app_trace.max_addr()
+        covered = max(base + size for base, size in app_trace.meta.regions.values())
+        assert top <= covered
+
+    def test_deterministic(self, app_trace):
+        app = app_trace.meta.app
+        again = small_trace(app)
+        assert len(again) == len(app_trace)
+        assert all(a == b for a, b in zip(again, app_trace))
+
+    def test_seed_changes_trace(self, app_trace):
+        app = app_trace.meta.app
+        other = small_trace(app, seed=99)
+        assert any(a != b for a, b in zip(other, app_trace)) or len(other) != len(
+            app_trace
+        )
+
+
+class TestSynchronizationProfiles:
+    """Each kernel reproduces its paper-described synchronization style."""
+
+    def test_locusroute_lock_dominated_no_barriers(self):
+        trace = small_trace("locusroute")
+        counts = trace.counts_by_type()
+        assert counts[EventType.BARRIER] == 0
+        assert counts[EventType.ACQUIRE] > 50
+
+    def test_cholesky_no_barriers(self):
+        trace = small_trace("cholesky")
+        assert trace.counts_by_type()[EventType.BARRIER] == 0
+
+    def test_mp3d_barrier_heavy(self):
+        trace = small_trace("mp3d")
+        counts = trace.counts_by_type()
+        # Two barriers per timestep, every processor arrives.
+        assert counts[EventType.BARRIER] == 2 * 2 * trace.n_procs
+
+    def test_water_has_locks_and_barriers(self):
+        trace = small_trace("water")
+        counts = trace.counts_by_type()
+        assert counts[EventType.BARRIER] == 2 * 2 * trace.n_procs
+        assert counts[EventType.ACQUIRE] > 0
+
+    def test_water_communicates_least(self):
+        """§5.6: Water is the quietest program (fewest shared accesses
+        per processor relative to the others at equal small scale)."""
+        water = small_trace("water")
+        locus = small_trace("locusroute")
+        assert len(water) < len(locus)
+
+    def test_pthor_single_writer_pages(self):
+        trace = small_trace("pthor")
+        stats = compute_stats(trace, page_size=256)
+        regions = trace.meta.regions
+        base, size = regions["elements"]
+        element_pages = [
+            p for p in stats.pages if base // 256 <= p <= (base + size - 1) // 256
+        ]
+        # Element pages: one writer each (block ownership), many readers.
+        multi_reader = 0
+        for page in element_pages:
+            sharing = stats.pages[page]
+            assert len(sharing.writers) <= 2  # block edges may straddle
+            if len(sharing.readers) > 2:
+                multi_reader += 1
+        assert multi_reader > 0
+
+    def test_locusroute_false_sharing_grows_with_page_size(self):
+        trace = small_trace("locusroute")
+        small = compute_stats(trace, page_size=128)
+        large = compute_stats(trace, page_size=2048)
+        assert large.mean_sharers_per_page >= small.mean_sharers_per_page
+
+
+class TestScaling:
+    def test_locusroute_scales_with_wires(self):
+        a = generate("locusroute", n_procs=2, seed=0, grid_width=32, grid_height=8, n_wires=4)
+        b = generate("locusroute", n_procs=2, seed=0, grid_width=32, grid_height=8, n_wires=12)
+        assert len(b) > len(a)
+
+    def test_mp3d_scales_with_timesteps(self):
+        base = dict(n_procs=2, seed=0, n_particles=24, n_cells=12, n_cell_locks=2)
+        a = generate("mp3d", timesteps=1, **base)
+        b = generate("mp3d", timesteps=3, **base)
+        assert len(b) > 2 * len(a)
+
+    def test_water_scales_with_molecules(self):
+        a = generate("water", n_procs=2, seed=0, n_molecules=8, timesteps=1)
+        b = generate("water", n_procs=2, seed=0, n_molecules=24, timesteps=1)
+        assert len(b) > len(a)
+
+
+class TestSynthetic:
+    def test_migratory_validates(self):
+        trace = synthetic.migratory(n_procs=3, rounds=5)
+        validate_trace(trace)
+        assert HbGraph(trace).races(max_reported=1) == []
+
+    def test_false_sharing_validates_and_race_free(self):
+        trace = synthetic.false_sharing(n_procs=3, rounds=4)
+        validate_trace(trace)
+        assert HbGraph(trace).races(max_reported=1) == []
+
+    def test_false_sharing_spread_removes_false_sharing(self):
+        packed = synthetic.false_sharing(n_procs=4, rounds=2, spread_bytes=0)
+        spread = synthetic.false_sharing(n_procs=4, rounds=2, spread_bytes=4096)
+        packed_stats = compute_stats(packed, page_size=1024)
+        spread_stats = compute_stats(spread, page_size=1024)
+        assert packed_stats.falsely_write_shared_pages > 0
+        assert spread_stats.falsely_write_shared_pages == 0
+
+    def test_producer_consumer_validates(self):
+        trace = synthetic.producer_consumer(n_procs=3, rounds=3)
+        validate_trace(trace)
+        assert HbGraph(trace).races(max_reported=1) == []
+
+    def test_barrier_phases_validates(self):
+        trace = synthetic.barrier_phases(n_procs=3, phases=3)
+        validate_trace(trace)
+        assert HbGraph(trace).races(max_reported=1) == []
+
+    def test_single_lock_chain_structure(self):
+        trace = synthetic.single_lock_chain(n_procs=3, rounds=2)
+        validate_trace(trace)
+        counts = trace.counts_by_type()
+        assert counts[EventType.ACQUIRE] == 6
+        assert counts[EventType.WRITE] == 6

@@ -1,0 +1,132 @@
+"""CLI tests (in-process through main())."""
+
+import pytest
+
+from repro.cli import build_parser, main
+from tests.conftest import SMALL_SCALE
+
+
+def small_args(app: str):
+    return ["--app", app, "--n-procs", "2", "--seed", "1"]
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_rejects_unknown_app(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "--app", "doom3d"])
+
+    def test_rejects_unknown_protocol(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "--protocol", "MESI"])
+
+
+class TestCommands:
+    def test_run(self, capsys):
+        assert main(["run", *small_args("water"), "--protocol", "LI", "--page-size", "512"]) == 0
+        out = capsys.readouterr().out
+        assert "water" in out and "msgs=" in out
+
+    def test_sweep(self, capsys):
+        assert main(["sweep", *small_args("cholesky"), "--page-sizes", "512", "1024"]) == 0
+        out = capsys.readouterr().out
+        assert "Figure 7" in out and "Figure 8" in out
+
+    def test_table1(self, capsys):
+        assert main(["table1"]) == 0
+        out = capsys.readouterr().out
+        assert "cells match the analytical model" in out
+        assert "FAIL" not in out
+
+    def test_trace_roundtrip(self, tmp_path, capsys):
+        out_file = tmp_path / "w.trcb"
+        assert main(["trace", *small_args("water"), "--out", str(out_file)]) == 0
+        assert out_file.exists()
+        assert (
+            main(
+                [
+                    "run",
+                    "--trace-file",
+                    str(out_file),
+                    "--protocol",
+                    "EI",
+                    "--page-size",
+                    "1024",
+                ]
+            )
+            == 0
+        )
+        assert "EI" in capsys.readouterr().out
+
+    def test_stats(self, capsys):
+        assert main(["stats", *small_args("mp3d"), "--page-size", "512"]) == 0
+        assert "mp3d" in capsys.readouterr().out
+
+    def test_check(self, capsys):
+        assert main(["check", *small_args("water"), "--protocol", "EU", "--page-size", "512"]) == 0
+        assert "reads verified" in capsys.readouterr().out
+
+    def test_check_extra_protocol(self, capsys):
+        assert main(["check", *small_args("water"), "--protocol", "EW", "--page-size", "512"]) == 0
+        assert "reads verified" in capsys.readouterr().out
+
+    def test_compare(self, capsys):
+        assert main(["compare", *small_args("cholesky"), "--page-size", "1024", "--era", "modern"]) == 0
+        out = capsys.readouterr().out
+        for protocol in ("LI", "LU", "EI", "EU", "EW"):
+            assert protocol in out
+        assert "est=" in out
+
+    def test_locks(self, capsys):
+        assert main(["locks", *small_args("cholesky")]) == 0
+        assert "handoff rate" in capsys.readouterr().out
+
+    def test_mstats(self, capsys):
+        assert main(["mstats", *small_args("water"), "--protocol", "LI", "--page-size", "512"]) == 0
+        assert "modifiers per miss" in capsys.readouterr().out
+
+    def test_chart(self, capsys):
+        assert main(["chart", *small_args("water"), "--page-sizes", "512", "2048"]) == 0
+        out = capsys.readouterr().out
+        assert "messages by page size" in out and "█" in out
+
+    def test_timeline(self, capsys):
+        assert (
+            main(
+                [
+                    "timeline",
+                    *small_args("mp3d"),
+                    "--page-size",
+                    "1024",
+                    "--protocols",
+                    "LI",
+                    "HLRC",
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "burstiness" in out and "HLRC" in out
+
+    def test_export(self, tmp_path, capsys):
+        assert (
+            main(
+                [
+                    "export",
+                    "--out",
+                    str(tmp_path / "results"),
+                    "--apps",
+                    "water",
+                    "--n-procs",
+                    "2",
+                    "--seed",
+                    "1",
+                ]
+            )
+            == 0
+        )
+        assert (tmp_path / "results" / "manifest.json").exists()
+        assert (tmp_path / "results" / "fig11_water_messages.csv").exists()

@@ -1,0 +1,79 @@
+"""Unit tests for address arithmetic and typed helpers."""
+
+import pytest
+
+from repro.common.types import (
+    WORD_SIZE,
+    align_down,
+    align_up,
+    is_power_of_two,
+    page_of,
+    page_offset,
+    word_index,
+    words_in_range,
+)
+
+
+class TestPowerOfTwo:
+    def test_powers(self):
+        for exp in range(16):
+            assert is_power_of_two(1 << exp)
+
+    def test_non_powers(self):
+        for value in (0, -1, -4, 3, 6, 12, 1023):
+            assert not is_power_of_two(value)
+
+
+class TestPageArithmetic:
+    def test_page_of_first_page(self):
+        assert page_of(0, 512) == 0
+        assert page_of(511, 512) == 0
+
+    def test_page_of_boundary(self):
+        assert page_of(512, 512) == 1
+        assert page_of(8192, 4096) == 2
+
+    def test_page_offset(self):
+        assert page_offset(0, 512) == 0
+        assert page_offset(513, 512) == 1
+        assert page_offset(1023, 512) == 511
+
+    def test_word_index(self):
+        assert word_index(0, 512) == 0
+        assert word_index(4, 512) == 1
+        assert word_index(7, 512) == 1
+        assert word_index(512 + 8, 512) == 2
+
+
+class TestWordsInRange:
+    def test_single_word(self):
+        assert list(words_in_range(0, 4, 512)) == [0]
+
+    def test_unaligned_access_covers_both_words(self):
+        assert list(words_in_range(2, 4, 512)) == [0, 1]
+
+    def test_multi_word(self):
+        assert list(words_in_range(8, 12, 512)) == [2, 3, 4]
+
+    def test_clipped_to_page(self):
+        words = list(words_in_range(508, 100, 512))
+        assert words == [127]
+
+    def test_zero_size_rejected(self):
+        with pytest.raises(ValueError):
+            words_in_range(0, 0, 512)
+
+    def test_word_size_constant(self):
+        assert WORD_SIZE == 4
+
+
+class TestAlignment:
+    def test_align_down(self):
+        assert align_down(1023, 512) == 512
+        assert align_down(512, 512) == 512
+        assert align_down(0, 8) == 0
+
+    def test_align_up(self):
+        assert align_up(1, 512) == 512
+        assert align_up(512, 512) == 512
+        assert align_up(513, 512) == 1024

@@ -1,0 +1,113 @@
+"""Unit and property tests for diffs and twins."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.memory.diff import Diff, apply_in_order
+from repro.memory.twin import Twin
+from repro.network.costs import CostModel
+
+words_strategy = st.dictionaries(
+    st.integers(min_value=0, max_value=127),
+    st.integers(min_value=0, max_value=10_000),
+    min_size=1,
+    max_size=40,
+)
+
+
+class TestDiffBasics:
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            Diff(0, 0, 0, {})
+
+    def test_apply_overwrites(self):
+        words = {0: 1, 1: 2}
+        Diff(0, 1, 0, {1: 99, 2: 98}).apply_to(words)
+        assert words == {0: 1, 1: 99, 2: 98}
+
+    def test_overlaps(self):
+        a = Diff(0, 0, 0, {1: 1, 2: 2})
+        b = Diff(0, 1, 0, {2: 9})
+        c = Diff(0, 1, 0, {3: 9})
+        d = Diff(1, 1, 0, {2: 9})  # other page
+        assert a.overlaps(b) and b.overlaps(a)
+        assert not a.overlaps(c)
+        assert not a.overlaps(d)
+
+
+class TestRuns:
+    def test_single_run(self):
+        assert Diff(0, 0, 0, {3: 1, 4: 1, 5: 1}).runs() == [(3, 3)]
+
+    def test_split_runs(self):
+        assert Diff(0, 0, 0, {0: 1, 2: 1, 3: 1}).runs() == [(0, 1), (2, 2)]
+
+    def test_wire_bytes(self):
+        model = CostModel(diff_run_header_bytes=8, word_bytes=4)
+        diff = Diff(0, 0, 0, {0: 1, 2: 1, 3: 1})
+        assert diff.wire_bytes(model) == 2 * 8 + 3 * 4
+
+    @given(words_strategy)
+    def test_runs_cover_exactly_the_words(self, words):
+        runs = Diff(0, 0, 0, words).runs()
+        covered = set()
+        for start, length in runs:
+            covered.update(range(start, start + length))
+        assert covered == set(words)
+
+    @given(words_strategy)
+    def test_runs_are_maximal_and_disjoint(self, words):
+        runs = Diff(0, 0, 0, words).runs()
+        for (s1, l1), (s2, _l2) in zip(runs, runs[1:]):
+            assert s1 + l1 < s2  # disjoint and non-adjacent
+
+
+class TestApplyOrder:
+    def test_later_diff_wins(self):
+        words = {}
+        apply_in_order(
+            [Diff(0, 0, 0, {0: 1}), Diff(0, 1, 0, {0: 2})],
+            words,
+        )
+        assert words[0] == 2
+
+    @given(words_strategy, words_strategy)
+    def test_disjoint_diffs_commute(self, first, second):
+        second = {k + 200: v for k, v in second.items()}  # force disjoint
+        a, b = Diff(0, 0, 0, first), Diff(0, 1, 0, second)
+        one, two = {}, {}
+        apply_in_order([a, b], one)
+        apply_in_order([b, a], two)
+        assert one == two
+
+
+class TestTwin:
+    def test_diff_against_detects_changes(self):
+        twin = Twin(0, {0: 1, 1: 2})
+        diff = twin.diff_against({0: 1, 1: 3, 2: 4}, creator=2, interval=7)
+        assert diff.words == {1: 3, 2: 4}
+        assert (diff.creator, diff.interval) == (2, 7)
+
+    def test_diff_against_no_change(self):
+        twin = Twin(0, {0: 1})
+        assert twin.diff_against({0: 1}, 0, 0) is None
+
+    def test_missing_words_compare_to_zero(self):
+        twin = Twin(0, {0: 5})
+        diff = twin.diff_against({}, 0, 0)
+        assert diff.words == {0: 0}
+
+    @given(words_strategy, words_strategy)
+    def test_twin_diff_equals_write_through_tracking(self, initial, updates):
+        """Diffing against a twin == accumulating the write set directly,
+        provided every write changes its word (the simulator's unique
+        tokens guarantee that)."""
+        current = dict(initial)
+        twin = Twin(0, current)
+        applied = {}
+        for word, value in updates.items():
+            new_value = value + current.get(word, 0) + 1  # guaranteed change
+            current[word] = new_value
+            applied[word] = new_value
+        diff = twin.diff_against(current, 0, 0)
+        assert diff is not None and diff.words == applied

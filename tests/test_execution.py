@@ -1,0 +1,101 @@
+"""Tests for the execution-time simulator."""
+
+import pytest
+
+from repro.config import SimConfig
+from repro.simulator.execution import (
+    ExecutionModel,
+    ExecutionSimulator,
+    estimate_execution,
+)
+from repro.trace.events import Event
+from tests.conftest import build_trace, lock_chain_trace, small_trace
+
+
+ZERO_COMM = ExecutionModel(message_latency_s=0.0, byte_s=0.0)
+
+
+class TestModel:
+    def test_presets(self):
+        assert (
+            ExecutionModel.ethernet_1992().message_latency_s
+            > ExecutionModel.modern_cluster().message_latency_s
+        )
+
+
+class TestClockMechanics:
+    def test_independent_procs_overlap(self):
+        """Two processors doing private work run in parallel time."""
+        events = [Event.write(0, 0x0)] * 1 + [Event.write(1, 0x2000)] * 1
+        trace = build_trace(2, [Event.write(0, 0x0), Event.write(1, 0x2000)])
+        estimate = estimate_execution(trace, "LI", page_size=512, model=ZERO_COMM)
+        assert estimate.parallel_seconds == pytest.approx(ZERO_COMM.compute_s)
+        assert estimate.serial_seconds == pytest.approx(2 * ZERO_COMM.compute_s)
+        assert estimate.speedup == pytest.approx(2.0)
+
+    def test_lock_serializes_clocks(self):
+        """A lock chain forces each acquire after the previous release."""
+        trace = lock_chain_trace(n_procs=3, rounds=1)
+        estimate = estimate_execution(trace, "LI", page_size=512, model=ZERO_COMM)
+        # 3 procs x (acquire + release sync ops + 2 accesses) strictly
+        # serialized: parallel == serial.
+        assert estimate.parallel_seconds == pytest.approx(estimate.serial_seconds)
+        assert estimate.sync_wait_seconds > 0
+
+    def test_barrier_aligns_clocks(self):
+        model = ExecutionModel(message_latency_s=0.0, byte_s=0.0)
+        events = [Event.write(0, 0x0)] * 3
+        trace = build_trace(
+            2,
+            [
+                Event.write(0, 0x0),
+                Event.write(0, 0x0),
+                Event.write(0, 0x0),
+                Event.at_barrier(0, 0),
+                Event.at_barrier(1, 0),  # p1 arrives with an empty clock
+            ],
+        )
+        estimate = estimate_execution(trace, "LI", page_size=512, model=model)
+        # p1 waited for p0's three writes.
+        assert estimate.sync_wait_seconds >= 3 * model.compute_s - 1e-12
+
+    def test_comm_stall_charged_to_faulting_proc(self):
+        model = ExecutionModel(message_latency_s=1.0, byte_s=0.0, compute_s=0.0, sync_op_s=0.0)
+        trace = build_trace(2, [Event.read(1, 0x0)])  # cold miss: 2 messages
+        estimate = estimate_execution(trace, "EI", page_size=512, model=model)
+        assert estimate.comm_stall_seconds == pytest.approx(2.0)
+        assert estimate.parallel_seconds == pytest.approx(2.0)
+
+
+class TestProtocolRanking:
+    def test_fewer_messages_less_time(self):
+        """On a lock-heavy kernel the protocol ranking follows messages."""
+        trace = small_trace("locusroute", n_procs=8)
+        times = {
+            p: estimate_execution(trace, p, page_size=2048).parallel_seconds
+            for p in ("LI", "EI", "EU")
+        }
+        assert times["LI"] < times["EI"]
+        assert times["LI"] < times["EU"]
+
+    def test_estimates_deterministic(self):
+        trace = small_trace("water", n_procs=4)
+        a = estimate_execution(trace, "LU", page_size=1024)
+        b = estimate_execution(trace, "LU", page_size=1024)
+        assert a.parallel_seconds == b.parallel_seconds
+
+    def test_format(self):
+        trace = small_trace("water", n_procs=4)
+        text = estimate_execution(trace, "LI", page_size=1024).format()
+        assert "speedup" in text and "LI" in text
+
+
+class TestSimulatorReuse:
+    def test_explicit_config(self):
+        trace = lock_chain_trace(n_procs=2)
+        config = SimConfig(n_procs=2, page_size=512)
+        simulator = ExecutionSimulator(trace, config, "EU")
+        estimate = simulator.run()
+        assert estimate.protocol == "EU"
+        # The embedded protocol ran the whole trace.
+        assert simulator.protocol.network.stats.total_messages > 0

@@ -1,0 +1,120 @@
+"""Cross-module integration tests: end-to-end pipelines and invariants."""
+
+import pytest
+
+from repro.analysis.checker import check_protocol
+from repro.analysis.sharing import analyze_sharing
+from repro.config import SimConfig
+from repro.simulator.engine import simulate
+from repro.simulator.sweep import run_sweep
+from repro.trace.codec import roundtrip_binary
+from tests.conftest import small_trace
+
+
+PROTOCOLS = ("LI", "LU", "EI", "EU")
+
+
+class TestPipelineEndToEnd:
+    def test_generate_save_load_simulate_check(self, tmp_path, app_trace):
+        """The full user pipeline: trace -> codec -> simulate -> audit."""
+        loaded = roundtrip_binary(app_trace)
+        report = check_protocol(loaded, "LI", page_size=512)
+        assert report.ok
+
+    @pytest.mark.parametrize("protocol", PROTOCOLS)
+    def test_deterministic_simulation(self, water_trace, protocol):
+        a = simulate(water_trace, protocol, page_size=1024)
+        b = simulate(water_trace, protocol, page_size=1024)
+        assert a.to_dict() == b.to_dict()
+
+
+class TestCrossProtocolInvariants:
+    def test_lock_category_identical_for_li_and_ei(self, app_trace):
+        """LI and EI send the same number of lock *transfer* messages
+        (3 per remote acquire) — LI just piggybacks more bytes."""
+        li = simulate(app_trace, "LI", page_size=1024)
+        ei = simulate(app_trace, "EI", page_size=1024)
+        assert li.category_messages()["lock"] == ei.category_messages()["lock"]
+
+    def test_lazy_control_bytes_exceed_eager(self, app_trace):
+        """Vector clocks and notices are the price of laziness."""
+        li = simulate(app_trace, "LI", page_size=1024)
+        eu = simulate(app_trace, "EU", page_size=1024)
+        assert li.control_bytes > eu.control_bytes
+
+    def test_barrier_arrivals_equal_across_protocols(self, app_trace):
+        from repro.network.message import MessageKind
+
+        counts = set()
+        for protocol in PROTOCOLS:
+            result = simulate(app_trace, protocol, page_size=1024)
+            counts.add(result.stats.messages_of(MessageKind.BARRIER_ARRIVAL))
+        assert len(counts) == 1
+
+    def test_eager_update_data_at_least_lazy_update(self, app_trace):
+        """EU pushes each diff to every cacher; LU pulls it once."""
+        lu = simulate(app_trace, "LU", page_size=2048)
+        eu = simulate(app_trace, "EU", page_size=2048)
+        assert eu.data_bytes >= 0.95 * lu.data_bytes
+
+    def test_misses_monotone_li_vs_lu(self, app_trace):
+        li = simulate(app_trace, "LI", page_size=1024)
+        lu = simulate(app_trace, "LU", page_size=1024)
+        assert lu.misses <= li.misses
+
+
+class TestPageSizeEffects:
+    def test_ei_data_grows_with_page_size(self, app_trace):
+        sweep = run_sweep(app_trace, protocols=["EI"], page_sizes=[256, 4096])
+        series = sweep.data_series("EI")
+        assert series[1] > series[0]
+
+    def test_cold_misses_shrink_with_page_size(self, app_trace):
+        small = simulate(app_trace, "LU", page_size=256)
+        large = simulate(app_trace, "LU", page_size=8192)
+        assert large.cold_misses < small.cold_misses
+
+    def test_trace_is_page_size_independent(self, app_trace):
+        """The same trace replays at any page size (no re-generation)."""
+        for page_size in (128, 1024, 16384):
+            result = simulate(app_trace, "LI", page_size=page_size)
+            assert result.events == len(app_trace)
+
+
+class TestSharingVsProtocol:
+    def test_false_sharing_correlates_with_reconciles(self):
+        """Pages the analyzer calls falsely shared produce EI reconciles."""
+        from repro.apps.synthetic import false_sharing
+
+        trace = false_sharing(n_procs=4, rounds=8, words_per_proc=4)
+        report = analyze_sharing(trace, page_size=1024)
+        assert report.falsely_write_shared_pages > 0
+        result = simulate(trace, "EI", page_size=1024)
+        assert result.counters["reconciles"] > 0
+
+    def test_no_false_sharing_no_reconciles(self):
+        from repro.apps.synthetic import false_sharing
+
+        trace = false_sharing(n_procs=4, rounds=8, words_per_proc=4, spread_bytes=8192)
+        result = simulate(trace, "EI", page_size=1024)
+        assert result.counters["reconciles"] == 0
+
+
+class TestConfigurationMatrix:
+    @pytest.mark.parametrize("page_size", [128, 512, 2048])
+    @pytest.mark.parametrize("protocol", PROTOCOLS)
+    def test_water_consistent_over_matrix(self, water_trace, protocol, page_size):
+        assert check_protocol(water_trace, protocol, page_size=page_size).ok
+
+    def test_single_processor_trace(self):
+        trace = small_trace("cholesky", n_procs=1)
+        for protocol in PROTOCOLS:
+            result = simulate(trace, protocol, page_size=512)
+            # One processor: manager hops may stay local but no data moves.
+            assert result.data_bytes == 0
+            assert check_protocol(trace, protocol, page_size=512).ok
+
+    def test_two_processors(self):
+        trace = small_trace("water", n_procs=2)
+        for protocol in PROTOCOLS:
+            assert check_protocol(trace, protocol, page_size=512).ok

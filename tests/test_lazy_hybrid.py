@@ -1,0 +1,106 @@
+"""Tests for the adaptive LH protocol."""
+
+import pytest
+
+from repro.analysis.checker import check_protocol
+from repro.config import SimConfig
+from repro.memory.page import PageState
+from repro.protocols.lazy_hybrid import LazyHybrid
+from repro.protocols.registry import protocol_class
+from repro.simulator.engine import Engine, simulate
+from repro.trace.events import Event
+from tests.conftest import build_trace, small_trace
+
+PAGE = 1024
+
+
+def run(events, n_procs=4, **options):
+    config = SimConfig(n_procs=n_procs, page_size=PAGE, **options)
+    engine = Engine(build_trace(n_procs, events), config, LazyHybrid)
+    return engine.protocol, engine.run()
+
+
+def producer_round(consumer_reads: bool):
+    """p1 writes page 0 under lock 0; p2 syncs; p2 optionally reads."""
+    events = [
+        Event.acquire(1, 0),
+        Event.write(1, 0x0),
+        Event.release(1, 0),
+        Event.acquire(2, 0),
+        Event.release(2, 0),
+    ]
+    if consumer_reads:
+        events.append(Event.read(2, 0x0))
+    return events
+
+
+class TestRegistry:
+    def test_lh_resolvable(self):
+        assert protocol_class("LH") is LazyHybrid
+        assert protocol_class("lazy-hybrid") is LazyHybrid
+
+
+class TestAdaptation:
+    def test_starts_in_invalidate_mode(self):
+        events = [Event.read(2, 0x0)] + producer_round(consumer_reads=False)
+        protocol, _ = run(events)
+        assert protocol.entry(2, 0).state == PageState.INVALID
+        assert protocol.promotions == 0
+
+    def test_promotes_after_repeated_misses(self):
+        events = [Event.read(2, 0x0)]
+        for _ in range(LazyHybrid.PROMOTE_AFTER + 1):
+            events += producer_round(consumer_reads=True)
+        protocol, _ = run(events)
+        assert protocol.promotions == 1
+        # Once in update mode, notices no longer invalidate the page.
+        assert protocol.entry(2, 0).state == PageState.VALID
+
+    def test_demotes_when_pull_unused(self):
+        events = [Event.read(2, 0x0)]
+        # Promote first (reads after each round) ...
+        for _ in range(LazyHybrid.PROMOTE_AFTER + 1):
+            events += producer_round(consumer_reads=True)
+        # ... then two rounds where p2 never touches the page.
+        events += producer_round(consumer_reads=False)
+        events += producer_round(consumer_reads=False)
+        protocol, _ = run(events)
+        assert protocol.demotions == 1
+
+    def test_counters_exported(self):
+        trace = small_trace("pthor", n_procs=4)
+        result = simulate(trace, "LH", page_size=512)
+        assert "promotions" in result.counters
+        assert "demotions" in result.counters
+
+
+class TestCorrectness:
+    @pytest.mark.parametrize("page_size", [256, 2048])
+    def test_consistent_on_all_apps(self, app_trace, page_size):
+        assert check_protocol(app_trace, "LH", page_size=page_size).ok
+
+    def test_no_unlock_messages(self, app_trace):
+        result = simulate(app_trace, "LH", page_size=1024)
+        assert result.category_messages()["unlock"] == 0
+
+
+class TestEffectiveness:
+    def test_tracks_the_better_pure_policy(self):
+        """LH stays within 50% of the better of LI/LU on every kernel.
+
+        At this tiny test scale the adaptive policy has little history to
+        learn from; the bench asserts a 15% envelope at full scale.
+        """
+        for app in ("locusroute", "water", "mp3d", "pthor"):
+            trace = small_trace(app, n_procs=8)
+            li = simulate(trace, "LI", page_size=1024).messages
+            lu = simulate(trace, "LU", page_size=1024).messages
+            lh = simulate(trace, "LH", page_size=1024).messages
+            assert lh <= 1.5 * min(li, lu), (app, li, lu, lh)
+
+    def test_beats_lu_on_sparse_reuse(self):
+        """Where pulls are mostly wasted (water), LH approaches LI."""
+        trace = small_trace("water", n_procs=8)
+        lu = simulate(trace, "LU", page_size=1024).messages
+        lh = simulate(trace, "LH", page_size=1024).messages
+        assert lh < lu

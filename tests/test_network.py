@@ -1,0 +1,150 @@
+"""Unit tests for messages, channels, the network, and accounting."""
+
+import pytest
+
+from repro.network.channel import Channel
+from repro.network.costs import CostModel
+from repro.network.message import CATEGORIES, Message, MessageKind
+from repro.network.network import Network
+from repro.network.stats import NetworkStats
+
+
+class TestMessageKinds:
+    def test_every_kind_has_valid_category(self):
+        for kind in MessageKind:
+            assert kind.category in CATEGORIES
+
+    def test_acks_flagged(self):
+        assert MessageKind.RELEASE_ACK.is_ack
+        assert MessageKind.BARRIER_ACK.is_ack
+        assert not MessageKind.PAGE_REPLY.is_ack
+
+    def test_negative_payload_rejected(self):
+        with pytest.raises(ValueError):
+            Message(MessageKind.PAGE_REPLY, 0, 1, payload_bytes=-1)
+        with pytest.raises(ValueError):
+            Message(MessageKind.PAGE_REPLY, 0, 1, control_bytes=-1)
+
+
+class TestChannel:
+    def test_fifo_order(self):
+        channel = Channel(0, 1)
+        first = Message(MessageKind.PAGE_REQUEST, 0, 1)
+        second = Message(MessageKind.PAGE_REPLY, 0, 1)
+        channel.push(first)
+        channel.push(second)
+        assert channel.pop() is first
+        assert channel.pop() is second
+        assert channel.pop() is None
+
+    def test_rejects_self_channel(self):
+        with pytest.raises(ValueError):
+            Channel(2, 2)
+
+    def test_rejects_mismatched_endpoints(self):
+        channel = Channel(0, 1)
+        with pytest.raises(ValueError):
+            channel.push(Message(MessageKind.PAGE_REQUEST, 1, 0))
+
+    def test_drain(self):
+        channel = Channel(0, 1)
+        for _ in range(3):
+            channel.push(Message(MessageKind.UPDATE, 0, 1))
+        assert len(list(channel.drain())) == 3
+        assert len(channel) == 0
+        assert channel.delivered_count == 3
+
+
+class TestCostModel:
+    def test_vclock_bytes(self):
+        assert CostModel(vclock_entry_bytes=4).vclock_bytes(16) == 64
+
+    def test_notices_bytes(self):
+        assert CostModel(write_notice_bytes=12).notices_bytes(5) == 60
+
+    def test_data_bytes_excludes_control_by_default(self):
+        model = CostModel()
+        assert model.message_data_bytes(100, control_bytes=40) == 100
+
+    def test_data_bytes_can_include_control(self):
+        model = CostModel(count_control_in_data=True)
+        assert model.message_data_bytes(100, control_bytes=40) == 140
+
+    def test_data_bytes_can_include_header(self):
+        model = CostModel(count_header_in_data=True, header_bytes=32)
+        assert model.message_data_bytes(100) == 132
+
+
+class TestNetworkAccounting:
+    def test_remote_message_counted(self):
+        network = Network(2)
+        network.send(MessageKind.PAGE_REPLY, 0, 1, payload_bytes=512)
+        assert network.stats.total_messages == 1
+        assert network.stats.total_data_bytes == 512
+
+    def test_local_send_free(self):
+        network = Network(2)
+        network.send(MessageKind.PAGE_REQUEST, 1, 1)
+        assert network.stats.total_messages == 0
+
+    def test_ack_exclusion(self):
+        network = Network(2, CostModel(count_acks=False))
+        network.send(MessageKind.RELEASE_ACK, 0, 1)
+        network.send(MessageKind.UPDATE, 0, 1, payload_bytes=8)
+        assert network.stats.total_messages == 1
+
+    def test_control_tracked_separately(self):
+        network = Network(2)
+        network.send(MessageKind.LOCK_GRANT, 0, 1, control_bytes=76)
+        assert network.stats.total_data_bytes == 0
+        assert network.stats.total_control_bytes == 76
+
+    def test_handler_reply(self):
+        network = Network(2)
+        network.register_handler(1, lambda msg: {"echo": msg.kind.name})
+        reply = network.send(MessageKind.PAGE_REQUEST, 0, 1)
+        assert reply == {"echo": "PAGE_REQUEST"}
+
+    def test_proc_range_checked(self):
+        network = Network(2)
+        with pytest.raises(ValueError):
+            network.send(MessageKind.PAGE_REQUEST, 0, 5)
+
+    def test_category_aggregation(self):
+        network = Network(3)
+        network.send(MessageKind.PAGE_REQUEST, 0, 1)
+        network.send(MessageKind.PAGE_REPLY, 1, 0, payload_bytes=100)
+        network.send(MessageKind.LOCK_REQUEST, 0, 2)
+        by_cat = network.stats.by_category()
+        assert by_cat["miss"].messages == 2
+        assert by_cat["miss"].data_bytes == 100
+        assert by_cat["lock"].messages == 1
+        assert by_cat["unlock"].messages == 0
+
+    def test_log_disabled_by_default(self):
+        network = Network(2)
+        network.send(MessageKind.UPDATE, 0, 1)
+        assert network.log == []
+
+    def test_log_enabled(self):
+        network = Network(2)
+        network.keep_log = True
+        network.send(MessageKind.UPDATE, 0, 1)
+        assert len(network.log) == 1
+
+
+class TestStatsMerge:
+    def test_merged_with(self):
+        a, b = NetworkStats(), NetworkStats()
+        a.record(Message(MessageKind.UPDATE, 0, 1, payload_bytes=10), 10, True)
+        b.record(Message(MessageKind.UPDATE, 0, 1, payload_bytes=5), 5, True)
+        merged = a.merged_with(b)
+        assert merged.total_messages == 2
+        assert merged.total_data_bytes == 15
+
+    def test_snapshot_only_nonzero(self):
+        stats = NetworkStats()
+        stats.record(Message(MessageKind.PAGE_REPLY, 0, 1, payload_bytes=7), 7, True)
+        snap = stats.snapshot()
+        assert list(snap) == ["PAGE_REPLY"]
+        assert snap["PAGE_REPLY"] == {"messages": 1, "data_bytes": 7}

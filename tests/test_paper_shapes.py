@@ -1,0 +1,110 @@
+"""Fast paper-shape checks (small-scale versions of the benches).
+
+The benchmark harness asserts the full qualitative claims at 16
+processors and paper scale; these tests assert the robust core of each
+claim on the small fixture traces so a plain ``pytest tests/`` run
+already demonstrates the reproduction's headline results.
+"""
+
+import pytest
+
+from repro.simulator.engine import simulate
+from repro.simulator.sweep import run_sweep
+from tests.conftest import small_trace
+
+APPS = ("locusroute", "cholesky", "mp3d", "water", "pthor")
+
+
+@pytest.fixture(scope="module")
+def sweeps():
+    return {
+        app: run_sweep(small_trace(app, n_procs=8), page_sizes=[512, 4096])
+        for app in APPS
+    }
+
+
+class TestHeadlineClaims:
+    """§7: lazy RC exchanges fewer messages and less data than eager RC."""
+
+    @pytest.mark.parametrize("app", APPS)
+    def test_li_beats_ei_messages(self, sweeps, app):
+        sweep = sweeps[app]
+        for i in range(len(sweep.page_sizes)):
+            assert sweep.message_series("LI")[i] < sweep.message_series("EI")[i]
+
+    @pytest.mark.parametrize("app", APPS)
+    def test_lu_beats_eu_messages(self, sweeps, app):
+        sweep = sweeps[app]
+        for i in range(len(sweep.page_sizes)):
+            assert sweep.message_series("LU")[i] < sweep.message_series("EU")[i]
+
+    @pytest.mark.parametrize("app", APPS)
+    def test_li_beats_ei_data(self, sweeps, app):
+        sweep = sweeps[app]
+        for i in range(len(sweep.page_sizes)):
+            assert sweep.data_series("LI")[i] < sweep.data_series("EI")[i]
+
+    @pytest.mark.parametrize("app", APPS)
+    def test_ei_data_explodes_with_page_size(self, sweeps, app):
+        """Full-page reloads make EI's data grow fastest in page size."""
+        sweep = sweeps[app]
+        ei_growth = sweep.data_series("EI")[1] / max(sweep.data_series("EI")[0], 1)
+        li_growth = sweep.data_series("LI")[1] / max(sweep.data_series("LI")[0], 1)
+        assert ei_growth > li_growth
+
+
+class TestPerProgramClaims:
+    def test_mp3d_update_protocols_miss_less(self, sweeps):
+        sweep = sweeps["mp3d"]
+        for page_size in sweep.page_sizes:
+            assert (
+                sweep.grid[("LU", page_size)].misses
+                < sweep.grid[("LI", page_size)].misses
+            )
+
+    def test_pthor_li_misses_more_than_lu(self, sweeps):
+        sweep = sweeps["pthor"]
+        for page_size in sweep.page_sizes:
+            assert (
+                sweep.grid[("LI", page_size)].misses
+                > sweep.grid[("LU", page_size)].misses
+            )
+
+    def test_water_eu_messages_worst(self, sweeps):
+        sweep = sweeps["water"]
+        for page_size in sweep.page_sizes:
+            eu = sweep.grid[("EU", page_size)].messages
+            assert eu == max(
+                sweep.grid[(p, page_size)].messages for p in sweep.protocols
+            )
+
+    def test_migratory_apps_punish_eager_update(self, sweeps):
+        """At fixture scale copysets are small, so only a weak form is
+        asserted here; the bench asserts EU >= EI at full scale."""
+        for app in ("locusroute", "cholesky"):
+            sweep = sweeps[app]
+            assert (
+                sweep.message_series("EU")[-1] >= 0.9 * sweep.message_series("EI")[-1]
+            ), app
+
+    def test_lock_dominated_vs_barrier_dominated_split(self):
+        """§5.8's two program categories, from the traces themselves."""
+        from repro.analysis.locks import analyze_locks
+
+        for app in ("locusroute", "cholesky"):
+            report = analyze_locks(small_trace(app))
+            assert report.lock_to_barrier_ratio > 5
+        for app in ("mp3d", "water"):
+            report = analyze_locks(small_trace(app))
+            assert report.barrier_arrivals > 0
+
+
+class TestFigure34Claim:
+    def test_lock_chain_microbenchmark(self):
+        from repro.apps.synthetic import single_lock_chain
+
+        trace = single_lock_chain(n_procs=4, rounds=8)
+        results = {p: simulate(trace, p, page_size=512) for p in ("LI", "LU", "EI", "EU")}
+        assert results["EU"].messages > results["LU"].messages
+        assert results["LI"].category_messages()["unlock"] == 0
+        assert results["LI"].data_bytes < results["EI"].data_bytes

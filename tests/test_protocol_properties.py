@@ -1,0 +1,165 @@
+"""Property-based protocol tests.
+
+Hypothesis generates random *race-free* programs (random sequences of
+lock-protected read-modify-writes, barrier-fenced private phases, and
+read-only sweeps), and every protocol at every page size must return
+hb-latest values for every read. This is the strongest invariant in the
+system: release consistency for properly-labeled programs.
+"""
+
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.analysis.checker import check_consistency
+from repro.config import SimConfig
+from repro.hb.graph import HbGraph
+from repro.simulator.engine import Engine
+from repro.trace.events import Event
+from repro.trace.stream import TraceMeta, TraceStream
+
+N_PROCS = 3
+N_LOCKS = 3
+N_WORDS = 24  # shared words, at 4 bytes each
+
+
+@st.composite
+def race_free_programs(draw):
+    """A random properly-labeled program as per-processor scripts.
+
+    Structure: a sequence of *phases*. In each phase every processor
+    performs a few lock-protected RMW bursts on randomly chosen shared
+    words (each word is statically assigned to a lock, so all conflicting
+    accesses are ordered), and phases end with a barrier.
+    """
+    n_phases = draw(st.integers(1, 3))
+    word_lock = [draw(st.integers(0, N_LOCKS - 1)) for _ in range(N_WORDS)]
+    words_of_lock = {
+        lock: [w for w in range(N_WORDS) if word_lock[w] == lock] or [0]
+        for lock in range(N_LOCKS)
+    }
+    # Word 0's fallback above could alias two locks; pin its lock to 0 so
+    # conflicting accesses stay ordered.
+    word_lock[0] = 0
+    words_of_lock = {
+        lock: [w for w in range(N_WORDS) if word_lock[w] == lock]
+        for lock in range(N_LOCKS)
+    }
+    scripts = {proc: [] for proc in range(N_PROCS)}
+    for _phase in range(n_phases):
+        for proc in range(N_PROCS):
+            n_bursts = draw(st.integers(0, 3))
+            for _ in range(n_bursts):
+                lock = draw(st.integers(0, N_LOCKS - 1))
+                candidates = words_of_lock[lock]
+                if candidates:
+                    words = draw(
+                        st.lists(st.sampled_from(candidates), min_size=0, max_size=3)
+                    )
+                else:
+                    words = []
+                burst = [("acquire", lock)]
+                for word in words:
+                    burst.append(("read", word))
+                    if draw(st.booleans()):
+                        burst.append(("write", word))
+                burst.append(("release", lock))
+                scripts[proc].extend(burst)
+            scripts[proc].append(("barrier",))
+    return scripts, draw(st.integers(0, 2**16))
+
+
+def interleave(scripts, seed) -> TraceStream:
+    """Deterministically interleave the scripts into a legal global trace."""
+    import random
+
+    rng = random.Random(seed)
+    trace = TraceStream(TraceMeta(n_procs=N_PROCS, app="property"))
+    cursors = {proc: 0 for proc in scripts}
+    lock_holder = {}
+    waiting_at_barrier = set()
+
+    def runnable(proc):
+        if cursors[proc] >= len(scripts[proc]):
+            return False
+        op = scripts[proc][cursors[proc]]
+        if op[0] == "acquire" and lock_holder.get(op[1]) is not None:
+            return False
+        if proc in waiting_at_barrier:
+            return False
+        return True
+
+    progress = True
+    while progress:
+        candidates = [p for p in scripts if runnable(p)]
+        if not candidates:
+            if len(waiting_at_barrier) and all(
+                cursors[p] >= len(scripts[p]) or p in waiting_at_barrier
+                for p in scripts
+            ):
+                # Everyone blocked at the barrier: release the episode.
+                for proc in list(waiting_at_barrier):
+                    cursors[proc] += 1
+                waiting_at_barrier.clear()
+                continue
+            break
+        proc = rng.choice(candidates)
+        op = scripts[proc][cursors[proc]]
+        if op[0] == "acquire":
+            lock_holder[op[1]] = proc
+            trace.append(Event.acquire(proc, op[1]))
+            cursors[proc] += 1
+        elif op[0] == "release":
+            lock_holder[op[1]] = None
+            trace.append(Event.release(proc, op[1]))
+            cursors[proc] += 1
+        elif op[0] == "read":
+            trace.append(Event.read(proc, op[1] * 4))
+            cursors[proc] += 1
+        elif op[0] == "write":
+            trace.append(Event.write(proc, op[1] * 4))
+            cursors[proc] += 1
+        else:  # barrier: arrival event now, advance when episode completes
+            trace.append(Event.at_barrier(proc, 0))
+            waiting_at_barrier.add(proc)
+            if len(waiting_at_barrier) == N_PROCS:
+                for waiter in list(waiting_at_barrier):
+                    cursors[waiter] += 1
+                waiting_at_barrier.clear()
+    return trace
+
+
+@settings(max_examples=25, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+@given(race_free_programs(), st.sampled_from([64, 256, 4096]))
+def test_all_protocols_release_consistent(program, page_size):
+    scripts, seed = program
+    trace = interleave(scripts, seed)
+    assert HbGraph(trace).races(max_reported=1) == [], "generator produced a racy trace"
+    for protocol in ("LI", "LU", "EI", "EU"):
+        config = SimConfig(n_procs=N_PROCS, page_size=page_size, record_values=True)
+        result = Engine(trace, config, protocol).run()
+        report = check_consistency(trace, result)
+        assert report.ok, f"{protocol}@{page_size}: {report.violations[:3]}"
+
+
+@settings(max_examples=10, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+@given(race_free_programs())
+def test_lazy_protocols_agree_on_final_memory(program):
+    """LI and LU must leave identical visible contents at every processor
+    that synchronized last — here checked via message-independent totals:
+    both observe identical read values."""
+    scripts, seed = program
+    trace = interleave(scripts, seed)
+    config = SimConfig(n_procs=N_PROCS, page_size=256, record_values=True)
+    li = Engine(trace, config, "LI").run()
+    lu = Engine(trace, config, "LU").run()
+    assert li.read_values == lu.read_values
+
+
+@settings(max_examples=10, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+@given(race_free_programs(), st.sampled_from([128, 1024]))
+def test_lazy_never_communicates_at_unlock(program, page_size):
+    scripts, seed = program
+    trace = interleave(scripts, seed)
+    for protocol in ("LI", "LU"):
+        config = SimConfig(n_procs=N_PROCS, page_size=page_size)
+        result = Engine(trace, config, protocol).run()
+        assert result.category_messages()["unlock"] == 0

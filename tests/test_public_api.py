@@ -1,0 +1,107 @@
+"""The public API surface: imports, exports, and the documented quickstart."""
+
+import importlib
+
+import pytest
+
+
+class TestTopLevelExports:
+    def test_all_names_importable(self):
+        import repro
+
+        for name in repro.__all__:
+            assert hasattr(repro, name), name
+
+    def test_version(self):
+        import repro
+
+        assert repro.__version__ == "1.0.0"
+
+    def test_subpackage_all_lists(self):
+        for module_name in (
+            "repro.common",
+            "repro.network",
+            "repro.memory",
+            "repro.hb",
+            "repro.sync",
+            "repro.trace",
+            "repro.runtime",
+            "repro.protocols",
+            "repro.simulator",
+            "repro.analysis",
+            "repro.experiments",
+        ):
+            module = importlib.import_module(module_name)
+            assert hasattr(module, "__all__"), module_name
+            for name in module.__all__:
+                assert hasattr(module, name), f"{module_name}.{name}"
+
+    def test_every_public_module_has_docstring(self):
+        import pkgutil
+
+        import repro
+
+        for info in pkgutil.walk_packages(repro.__path__, prefix="repro."):
+            module = importlib.import_module(info.name)
+            assert module.__doc__, f"{info.name} lacks a module docstring"
+
+
+class TestDocumentedQuickstart:
+    def test_readme_quickstart_runs(self):
+        from repro import simulate
+        from repro.apps import locusroute
+
+        trace = locusroute.generate(
+            n_procs=4, seed=1, grid_width=32, grid_height=8, n_wires=8, n_regions=4
+        )
+        rows = [
+            simulate(trace, protocol, page_size=4096).summary_row()
+            for protocol in ("LI", "LU", "EI", "EU")
+        ]
+        assert len(rows) == 4 and all("page=4096" in row for row in rows)
+
+    def test_readme_custom_program_runs(self):
+        from repro.runtime import Program
+
+        program = Program(n_procs=4, app="mine")
+        data = program.alloc_words("data", 64)
+
+        def worker(dsm, proc):
+            yield dsm.acquire(0)
+            head = yield dsm.read_word(data, 0)
+            yield dsm.write_word(data, 0, head + 1)
+            yield dsm.release(0)
+            yield dsm.barrier(0)
+
+        program.spmd(worker)
+        trace = program.run()
+        assert len(trace) == 4 * 5
+
+
+class TestAppIterationKnobs:
+    def test_locusroute_iterations(self):
+        from repro.apps import locusroute
+        from repro.analysis import check_protocol
+        from repro.trace.validate import validate_trace
+
+        small = dict(grid_width=32, grid_height=8, n_wires=8, n_regions=4)
+        one = locusroute.generate(n_procs=4, seed=2, **small)
+        three = locusroute.generate(n_procs=4, seed=2, iterations=3, **small)
+        validate_trace(three)
+        assert len(three) > 2 * len(one)
+        assert check_protocol(three, "LU", page_size=512).ok
+
+    def test_locusroute_iterations_validated(self):
+        from repro.apps import locusroute
+
+        with pytest.raises(ValueError):
+            locusroute.generate(n_procs=2, iterations=0)
+
+    def test_default_iterations_have_no_barriers(self):
+        from repro.apps import locusroute
+        from repro.trace.events import EventType
+
+        trace = locusroute.generate(
+            n_procs=2, seed=0, grid_width=32, grid_height=8, n_wires=4, n_regions=2
+        )
+        assert trace.counts_by_type()[EventType.BARRIER] == 0

@@ -1,0 +1,260 @@
+"""Unit tests for the deterministic runtime: ops, dsm, scheduler, program."""
+
+import pytest
+
+from repro.common.errors import ConfigError, RuntimeDeadlockError, TraceError
+from repro.memory.address_space import AddressSpace
+from repro.runtime.dsm import Dsm
+from repro.runtime.ops import Op, OpKind
+from repro.runtime.program import Program
+from repro.runtime.scheduler import Scheduler
+from repro.trace.events import EventType
+from repro.trace.validate import validate_trace
+
+
+class TestOps:
+    def test_read_validation(self):
+        with pytest.raises(ValueError):
+            Op(OpKind.READ, addr=-1)
+        with pytest.raises(ValueError):
+            Op(OpKind.READ, addr=0, size=3)
+
+    def test_sync_validation(self):
+        with pytest.raises(ValueError):
+            Op(OpKind.ACQUIRE)
+        with pytest.raises(ValueError):
+            Op(OpKind.BARRIER)
+
+    def test_write_values_scalar_broadcast(self):
+        op = Op(OpKind.WRITE, addr=0, size=12, value=7)
+        assert list(op.write_values()) == [7, 7, 7]
+
+    def test_write_values_list_checked(self):
+        op = Op(OpKind.WRITE, addr=0, size=8, value=[1, 2])
+        assert list(op.write_values()) == [1, 2]
+        bad = Op(OpKind.WRITE, addr=0, size=8, value=[1])
+        with pytest.raises(ValueError):
+            bad.write_values()
+
+    def test_write_values_on_read_rejected(self):
+        with pytest.raises(ValueError):
+            Op(OpKind.READ, addr=0).write_values()
+
+
+class TestDsm:
+    def test_region_helpers(self):
+        region = AddressSpace().alloc_words("a", 8)
+        dsm = Dsm(0)
+        assert dsm.read_word(region, 2).addr == region.base + 8
+        op = dsm.write_block(region, 1, [5, 6])
+        assert op.size == 8 and op.addr == region.base + 4
+
+    def test_sync_ops(self):
+        dsm = Dsm(1)
+        assert dsm.acquire(3).lock == 3
+        assert dsm.barrier(0).barrier == 0
+
+
+class TestScheduler:
+    def run_single(self, body, n_procs=1, **kwargs):
+        sched = Scheduler(n_procs, **kwargs)
+        for proc in range(n_procs):
+            sched.spawn(proc, body)
+        return sched.run()
+
+    def test_read_returns_written_value(self):
+        observed = []
+
+        def body(dsm, proc):
+            yield dsm.write(0, 41)
+            value = yield dsm.read(0)
+            observed.append(value)
+
+        self.run_single(body)
+        assert observed == [41]
+
+    def test_block_read_returns_list(self):
+        observed = []
+
+        def body(dsm, proc):
+            yield dsm.write(0, [1, 2, 3], size=12)
+            values = yield dsm.read(0, 12)
+            observed.append(values)
+
+        self.run_single(body)
+        assert observed == [[1, 2, 3]]
+
+    def test_unwritten_memory_reads_zero(self):
+        observed = []
+
+        def body(dsm, proc):
+            observed.append((yield dsm.read(0x500)))
+
+        self.run_single(body)
+        assert observed == [0]
+
+    def test_lock_mutual_exclusion(self):
+        """With the lock held, no interleaving lets both see the same value."""
+        def body(dsm, proc):
+            yield dsm.acquire(0)
+            value = yield dsm.read(0)
+            yield dsm.write(0, value + 1)
+            yield dsm.release(0)
+
+        for seed in range(5):
+            sched = Scheduler(4, seed=seed)
+            for proc in range(4):
+                sched.spawn(proc, body)
+            sched.run()
+            assert sched.memory[0] == 4
+
+    def test_lock_waiters_fifo(self):
+        order = []
+
+        def body(dsm, proc):
+            yield dsm.acquire(0)
+            order.append(proc)
+            yield dsm.release(0)
+
+        self.run_single(body, n_procs=4, schedule="round_robin")
+        assert order == [0, 1, 2, 3]
+
+    def test_barrier_blocks_until_all(self):
+        after = []
+
+        def body(dsm, proc):
+            yield dsm.write(proc * 4, proc + 1)
+            yield dsm.barrier(0)
+            after.append(proc)
+            # Everybody sees everybody's pre-barrier writes.
+            for other in range(3):
+                value = yield dsm.read(other * 4)
+                assert value == other + 1
+
+        self.run_single(body, n_procs=3, seed=7)
+        assert sorted(after) == [0, 1, 2]
+
+    def test_trace_event_order_respects_barrier(self):
+        def body(dsm, proc):
+            yield dsm.barrier(0)
+            yield dsm.read(0)
+
+        trace = self.run_single(body, n_procs=3, seed=2)
+        types = [e.type for e in trace]
+        assert types[:3] == [EventType.BARRIER] * 3
+
+    def test_deterministic_given_seed(self):
+        def body(dsm, proc):
+            for i in range(3):
+                yield dsm.acquire(0)
+                yield dsm.write(0, proc * 10 + i)
+                yield dsm.release(0)
+
+        def run(seed):
+            sched = Scheduler(3, seed=seed)
+            for proc in range(3):
+                sched.spawn(proc, body)
+            return [(e.type, e.proc) for e in sched.run()]
+
+        assert run(5) == run(5)
+        assert run(5) != run(6)  # different interleaving
+
+    def test_deadlock_detected(self):
+        def body(dsm, proc):
+            yield dsm.acquire(proc)
+            yield dsm.acquire(1 - proc)  # classic AB-BA
+            yield dsm.release(1 - proc)
+            yield dsm.release(proc)
+
+        sched = Scheduler(2, schedule="round_robin")
+        sched.spawn(0, body)
+        sched.spawn(1, body)
+        with pytest.raises(RuntimeDeadlockError):
+            sched.run()
+
+    def test_barrier_stranding_detected(self):
+        def waiter(dsm, proc):
+            yield dsm.barrier(0)
+
+        def quitter(dsm, proc):
+            return
+            yield  # pragma: no cover
+
+        sched = Scheduler(2, schedule="round_robin")
+        sched.spawn(0, waiter)
+        sched.spawn(1, quitter)
+        with pytest.raises(RuntimeDeadlockError):
+            sched.run()
+
+    def test_release_without_hold_rejected(self):
+        def body(dsm, proc):
+            yield dsm.release(0)
+
+        with pytest.raises(TraceError):
+            self.run_single(body)
+
+    def test_non_op_yield_rejected(self):
+        def body(dsm, proc):
+            yield "nope"
+
+        with pytest.raises(TraceError):
+            self.run_single(body)
+
+    def test_spawn_validations(self):
+        sched = Scheduler(2)
+
+        def body(dsm, proc):
+            yield dsm.read(0)
+
+        sched.spawn(0, body)
+        with pytest.raises(ConfigError):
+            sched.spawn(0, body)
+        with pytest.raises(ConfigError):
+            sched.spawn(5, body)
+        with pytest.raises(ConfigError):
+            sched.run()  # p1 has no thread
+
+    def test_bad_schedule_rejected(self):
+        with pytest.raises(ConfigError):
+            Scheduler(1, schedule="chaotic")
+
+
+class TestProgram:
+    def test_program_records_regions_and_params(self):
+        program = Program(2, app="demo", seed=3)
+        data = program.alloc_words("data", 4)
+        program.set_param("k", 9)
+
+        def body(dsm, proc):
+            yield dsm.write_word(data, proc, proc + 1)
+            yield dsm.barrier(0)
+            __ = yield dsm.read_word(data, 1 - proc)
+            yield dsm.barrier(1)
+
+        program.spmd(body)
+        trace = program.run()
+        validate_trace(trace)
+        assert trace.meta.app == "demo"
+        assert trace.meta.params["k"] == "9"
+        assert trace.meta.params["seed"] == "3"
+        assert trace.meta.regions["data"] == (data.base, data.size)
+
+    def test_spawn_individual_bodies(self):
+        program = Program(2, app="mixed")
+        flag = program.alloc_words("flag", 1)
+
+        def writer(dsm, proc):
+            yield dsm.acquire(0)
+            yield dsm.write_word(flag, 0, 5)
+            yield dsm.release(0)
+
+        def reader(dsm, proc):
+            yield dsm.acquire(0)
+            __ = yield dsm.read_word(flag, 0)
+            yield dsm.release(0)
+
+        program.spawn(0, writer)
+        program.spawn(1, reader)
+        trace = program.run()
+        validate_trace(trace)
+        assert len(trace) == 6

@@ -1,0 +1,95 @@
+"""Unit tests for the lock directory and barrier master."""
+
+import pytest
+
+from repro.network.message import MessageKind
+from repro.sync.barrier import BarrierMaster
+from repro.sync.lock_manager import LockDirectory
+
+
+class TestLockDirectory:
+    def test_static_manager(self):
+        locks = LockDirectory(4)
+        assert locks.manager_of(0) == 0
+        assert locks.manager_of(7) == 3
+
+    def test_grantor_defaults_to_manager(self):
+        locks = LockDirectory(4)
+        assert locks.grantor_of(5) == 1
+
+    def test_grantor_is_last_releaser(self):
+        locks = LockDirectory(4)
+        locks.record_acquire(2, 5)
+        locks.record_release(2, 5)
+        assert locks.grantor_of(5) == 2
+        assert locks.last_releaser(5) == 2
+
+    def test_acquire_route_hops(self):
+        locks = LockDirectory(4)
+        route = locks.acquire_route(0, 3)
+        assert [hop.kind for hop in route] == [
+            MessageKind.LOCK_REQUEST,
+            MessageKind.LOCK_FORWARD,
+            MessageKind.LOCK_GRANT,
+        ]
+        assert route[0].src == 0 and route[0].dst == 3
+        assert route[2].dst == 0
+
+    def test_double_acquire_rejected(self):
+        locks = LockDirectory(2)
+        locks.record_acquire(0, 1)
+        with pytest.raises(ValueError):
+            locks.record_acquire(1, 1)
+
+    def test_release_by_non_holder_rejected(self):
+        locks = LockDirectory(2)
+        locks.record_acquire(0, 1)
+        with pytest.raises(ValueError):
+            locks.record_release(1, 1)
+
+    def test_holder_tracking(self):
+        locks = LockDirectory(2)
+        assert locks.holder(0) is None
+        locks.record_acquire(1, 0)
+        assert locks.holder(0) == 1
+        locks.record_release(1, 0)
+        assert locks.holder(0) is None
+
+
+class TestBarrierMaster:
+    def test_episode_completes_on_last_arrival(self):
+        master = BarrierMaster(3)
+        assert not master.record_arrival(0, 0)
+        assert not master.record_arrival(1, 0)
+        assert master.record_arrival(2, 0)
+        assert master.episodes_completed == 1
+
+    def test_episode_resets_for_reuse(self):
+        master = BarrierMaster(2)
+        master.record_arrival(0, 0)
+        master.record_arrival(1, 0)
+        assert not master.record_arrival(0, 0)
+        assert master.arrivals(0) == {0}
+
+    def test_double_arrival_rejected(self):
+        master = BarrierMaster(3)
+        master.record_arrival(0, 0)
+        with pytest.raises(ValueError):
+            master.record_arrival(0, 0)
+
+    def test_exit_targets_exclude_master(self):
+        master = BarrierMaster(4, master=2)
+        assert master.exit_targets() == [0, 1, 3]
+
+    def test_independent_barrier_ids(self):
+        master = BarrierMaster(2)
+        master.record_arrival(0, 0)
+        master.record_arrival(0, 1)
+        assert master.arrivals(0) == {0}
+        assert master.arrivals(1) == {0}
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            BarrierMaster(0)
+        with pytest.raises(ValueError):
+            BarrierMaster(2, master=5)

@@ -1,0 +1,81 @@
+"""Property tests for the synchronization substrate."""
+
+from hypothesis import given, strategies as st
+
+from repro.network.message import MessageKind
+from repro.sync.barrier import BarrierMaster
+from repro.sync.lock_manager import LockDirectory
+
+
+class TestLockDirectoryProperties:
+    @given(
+        st.integers(2, 16),
+        st.lists(
+            st.tuples(st.integers(0, 15), st.integers(0, 31)), min_size=1, max_size=40
+        ),
+    )
+    def test_acquire_release_sequences_track_holder(self, n_procs, operations):
+        """Any legal acquire/release sequence keeps directory state sane."""
+        locks = LockDirectory(n_procs)
+        held = {}
+        for proc, lock in operations:
+            proc %= n_procs
+            if lock in held:
+                holder = held.pop(lock)
+                locks.record_release(holder, lock)
+                assert locks.last_releaser(lock) == holder
+                assert locks.grantor_of(lock) == holder
+            else:
+                locks.record_acquire(proc, lock)
+                held[lock] = proc
+                assert locks.holder(lock) == proc
+
+    @given(st.integers(1, 16), st.integers(0, 63), st.integers(0, 15))
+    def test_route_always_three_hops_ending_at_acquirer(self, n_procs, lock, acquirer):
+        acquirer %= n_procs
+        locks = LockDirectory(n_procs)
+        route = locks.acquire_route(acquirer, lock)
+        assert len(route) == 3
+        assert route[0].src == acquirer
+        assert route[0].dst == locks.manager_of(lock)
+        assert route[1].src == locks.manager_of(lock)
+        assert route[2].dst == acquirer
+        assert route[0].kind == MessageKind.LOCK_REQUEST
+        assert route[2].kind == MessageKind.LOCK_GRANT
+
+    @given(st.integers(1, 16), st.integers(0, 255))
+    def test_manager_stable_and_in_range(self, n_procs, lock):
+        locks = LockDirectory(n_procs)
+        manager = locks.manager_of(lock)
+        assert 0 <= manager < n_procs
+        assert locks.manager_of(lock) == manager
+
+
+class TestBarrierProperties:
+    @given(st.integers(1, 12), st.integers(1, 5), st.integers(0, 10_000))
+    def test_episodes_complete_exactly_on_full_arrival(self, n_procs, episodes, seed):
+        """Arrivals in any order: exactly one completion per episode."""
+        import random
+
+        rng = random.Random(seed)
+        master = BarrierMaster(n_procs)
+        completions = 0
+        for _ in range(episodes):
+            order = list(range(n_procs))
+            rng.shuffle(order)
+            for index, proc in enumerate(order):
+                done = master.record_arrival(proc, 0)
+                assert done == (index == n_procs - 1)
+                if done:
+                    completions += 1
+        assert completions == episodes
+        assert master.episodes_completed == episodes
+
+    @given(st.integers(2, 12), st.integers(0, 11))
+    def test_exit_targets_complete_and_exclude_master(self, n_procs, master_proc):
+        master_proc %= n_procs
+        master = BarrierMaster(n_procs, master=master_proc)
+        targets = master.exit_targets()
+        assert len(targets) == n_procs - 1
+        assert master_proc not in targets
+        assert set(targets) | {master_proc} == set(range(n_procs))

@@ -1,0 +1,60 @@
+"""Tests for traffic timelines."""
+
+import pytest
+
+from repro.analysis.timeline import Timeline, message_timeline
+from repro.trace.events import Event
+from tests.conftest import build_trace, lock_chain_trace, small_trace
+
+
+class TestTimeline:
+    def test_buckets_cover_all_messages(self):
+        trace = lock_chain_trace(n_procs=4, rounds=4)
+        timeline = message_timeline(trace, "LI", page_size=512, n_buckets=10)
+        from repro.simulator.engine import simulate
+
+        reference = simulate(trace, "LI", page_size=512)
+        assert timeline.total_messages == reference.messages
+        assert sum(timeline.data_byte_buckets) == reference.data_bytes
+
+    def test_bucket_count(self):
+        trace = lock_chain_trace(n_procs=2, rounds=3)
+        timeline = message_timeline(trace, "EI", page_size=512, n_buckets=7)
+        assert len(timeline.message_buckets) == 7
+
+    def test_invalid_buckets(self):
+        with pytest.raises(ValueError):
+            message_timeline(lock_chain_trace(), "LI", n_buckets=0)
+
+    def test_sparkline_length_and_charset(self):
+        trace = small_trace("mp3d", n_procs=4)
+        timeline = message_timeline(trace, "EU", page_size=1024, n_buckets=20)
+        spark = timeline.sparkline()
+        assert len(spark) == 20
+        assert any(c != " " for c in spark)
+
+    def test_empty_timeline(self):
+        timeline = Timeline("LI", 1, [0, 0], [0, 0])
+        assert timeline.burstiness == 0.0
+        assert timeline.sparkline() == "  "
+
+    def test_cold_start_burst(self):
+        """Cold misses burst up front; later re-reads hit and stay quiet."""
+        pages = [Event.read(1, page * 256) for page in range(32)]
+        rereads = [Event.read(1, page * 256) for page in range(32)] * 3
+        trace = build_trace(2, pages + rereads)
+        timeline = message_timeline(trace, "EI", page_size=256, n_buckets=8)
+        front = sum(timeline.message_buckets[:2])
+        back = sum(timeline.message_buckets[4:])
+        assert front > 0 and back == 0
+
+    def test_barrier_app_pulses(self):
+        """Eager protocols burst at barrier phases: high burstiness."""
+        trace = small_trace("mp3d", n_procs=4)
+        eager = message_timeline(trace, "EU", page_size=1024, n_buckets=30)
+        assert eager.burstiness > 1.5
+
+    def test_format(self):
+        trace = lock_chain_trace()
+        text = message_timeline(trace, "LU", page_size=512).format()
+        assert "burstiness" in text and "LU" in text

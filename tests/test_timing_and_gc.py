@@ -1,0 +1,98 @@
+"""Tests for the runtime-cost model and the lazy diff garbage collector."""
+
+import pytest
+
+from repro.analysis.checker import check_protocol
+from repro.config import SimConfig
+from repro.simulator.engine import simulate
+from repro.simulator.timing import (
+    TimingEstimate,
+    TimingModel,
+    compare_runtimes,
+    estimate_runtime,
+)
+from tests.conftest import small_trace
+
+
+class TestTimingModel:
+    def test_presets_are_distinct(self):
+        slow = TimingModel.ethernet_1992()
+        fast = TimingModel.modern_cluster()
+        assert slow.per_message_s > 100 * fast.per_message_s
+
+    def test_estimate_components(self):
+        trace = small_trace("mp3d", n_procs=4)
+        result = simulate(trace, "LI", page_size=1024)
+        estimate = estimate_runtime(result, TimingModel())
+        assert estimate.total_seconds == pytest.approx(
+            sum(estimate.breakdown().values())
+        )
+        assert estimate.message_seconds == result.messages * 1e-3
+        assert estimate.bookkeeping_seconds > 0  # lazy pays interval costs
+
+    def test_eager_has_no_bookkeeping_term(self):
+        trace = small_trace("mp3d", n_procs=4)
+        result = simulate(trace, "EI", page_size=1024)
+        estimate = estimate_runtime(result, TimingModel())
+        assert estimate.bookkeeping_seconds == 0
+
+    def test_message_dominated_model_preserves_message_ranking(self):
+        """With per-message cost dominant, estimated time ranks like
+        message counts — the paper's premise that messages are the cost."""
+        trace = small_trace("locusroute", n_procs=4)
+        results = {p: simulate(trace, p, page_size=2048) for p in ("LI", "EU")}
+        model = TimingModel(per_message_s=1.0, per_byte_s=0, per_diff_create_s=0,
+                            per_diff_apply_s=0, per_interval_s=0)
+        estimates = compare_runtimes(results, model)
+        assert (estimates["LI"].total_seconds < estimates["EU"].total_seconds) == (
+            results["LI"].messages < results["EU"].messages
+        )
+
+    def test_format(self):
+        trace = small_trace("water", n_procs=2)
+        result = simulate(trace, "LU", page_size=512)
+        text = estimate_runtime(result, TimingModel.ethernet_1992()).format()
+        assert "LU" in text and "messages=" in text
+
+
+class TestGarbageCollection:
+    def test_gc_reduces_peak_retention(self):
+        trace = small_trace("mp3d", n_procs=8)
+        off = simulate(trace, "LI", page_size=1024)
+        on = simulate(trace, "LI", page_size=1024, gc_at_barriers=True)
+        assert on.counters["gc_runs"] > 0
+        assert on.counters["gc_collected_bytes"] > 0
+        assert (
+            on.counters["peak_retained_diff_bytes"]
+            < off.counters["peak_retained_diff_bytes"]
+        )
+
+    def test_gc_never_changes_traffic(self):
+        trace = small_trace("water", n_procs=4)
+        for protocol in ("LI", "LU"):
+            off = simulate(trace, protocol, page_size=512)
+            on = simulate(trace, protocol, page_size=512, gc_at_barriers=True)
+            assert on.messages == off.messages
+            assert on.data_bytes == off.data_bytes
+
+    @pytest.mark.parametrize("protocol", ["LI", "LU"])
+    def test_gc_runs_stay_consistent(self, protocol):
+        trace = small_trace("mp3d", n_procs=4)
+        config = SimConfig(n_procs=4, gc_at_barriers=True)
+        report = check_protocol(trace, protocol, page_size=512, config=config)
+        assert report.ok
+
+    def test_retention_accounting_balances(self):
+        trace = small_trace("mp3d", n_procs=4)
+        on = simulate(trace, "LI", page_size=1024, gc_at_barriers=True)
+        retained = on.counters["retained_diff_bytes"]
+        collected = on.counters["gc_collected_bytes"]
+        assert retained >= 0
+        # Created = still retained + collected.
+        off = simulate(trace, "LI", page_size=1024)
+        assert retained + collected == off.counters["retained_diff_bytes"]
+
+    def test_no_barriers_no_gc(self):
+        trace = small_trace("cholesky", n_procs=4)
+        on = simulate(trace, "LI", page_size=1024, gc_at_barriers=True)
+        assert on.counters["gc_runs"] == 0

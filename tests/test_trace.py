@@ -1,0 +1,224 @@
+"""Unit tests for trace events, streams, codecs, validation, and stats."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.common.errors import TraceError
+from repro.trace.codec import roundtrip_binary, roundtrip_text, save_trace, load_trace
+from repro.trace.events import Event, EventType
+from repro.trace.stats import compute_stats
+from repro.trace.stream import TraceMeta, TraceStream
+from repro.trace.validate import barrier_episodes, validate_trace
+from tests.conftest import build_trace, lock_chain_trace
+
+
+class TestEvents:
+    def test_constructors(self):
+        assert Event.read(0, 4).type == EventType.READ
+        assert Event.write(1, 8, 16).size == 16
+        assert Event.acquire(2, 3).lock == 3
+        assert Event.release(2, 3).type == EventType.RELEASE
+        assert Event.at_barrier(0, 1).barrier == 1
+
+    def test_ordinary_vs_special(self):
+        assert EventType.READ.is_ordinary
+        assert EventType.BARRIER.is_special
+        assert not EventType.ACQUIRE.is_ordinary
+
+    def test_equality_ignores_seq(self):
+        a, b = Event.read(0, 4), Event.read(0, 4)
+        a.seq, b.seq = 1, 2
+        assert a == b and hash(a) == hash(b)
+
+
+class TestStream:
+    def test_append_assigns_seq(self):
+        trace = TraceStream(TraceMeta(n_procs=2))
+        trace.append(Event.read(0, 0))
+        trace.append(Event.write(1, 4))
+        assert [e.seq for e in trace] == [0, 1]
+
+    def test_counts_and_max_addr(self):
+        trace = build_trace(2, [Event.read(0, 0x10, 8), Event.acquire(1, 0)])
+        counts = trace.counts_by_type()
+        assert counts[EventType.READ] == 1 and counts[EventType.ACQUIRE] == 1
+        assert trace.max_addr() == 0x18
+
+    def test_meta_validation(self):
+        with pytest.raises(ValueError):
+            TraceMeta(n_procs=0)
+
+
+def sample_trace() -> TraceStream:
+    trace = TraceStream(
+        TraceMeta(
+            n_procs=3,
+            app="demo",
+            params={"x": "1"},
+            regions={"grid": (0, 4096)},
+        )
+    )
+    trace.append(Event.read(0, 0x1000, 8))
+    trace.append(Event.write(1, 0xFFFF_FF00, 4))
+    trace.append(Event.acquire(2, 7))
+    trace.append(Event.release(2, 7))
+    for proc in range(3):
+        trace.append(Event.at_barrier(proc, 1))
+    return trace
+
+
+class TestCodecs:
+    def test_text_roundtrip(self):
+        trace = sample_trace()
+        loaded = roundtrip_text(trace)
+        assert loaded.meta.n_procs == 3
+        assert loaded.meta.app == "demo"
+        assert loaded.meta.params == {"x": "1"}
+        assert loaded.meta.regions == {"grid": (0, 4096)}
+        assert list(loaded) == list(trace)
+
+    def test_binary_roundtrip(self):
+        trace = sample_trace()
+        loaded = roundtrip_binary(trace)
+        assert list(loaded) == list(trace)
+        assert loaded.meta.regions == {"grid": (0, 4096)}
+
+    def test_file_roundtrip_both_formats(self, tmp_path):
+        trace = sample_trace()
+        for name in ("t.trc", "t.trcb"):
+            path = tmp_path / name
+            save_trace(trace, path)
+            assert list(load_trace(path)) == list(trace)
+
+    def test_text_bad_magic(self, tmp_path):
+        path = tmp_path / "bad.trc"
+        path.write_text("not a trace\n")
+        with pytest.raises(TraceError):
+            load_trace(path)
+
+    def test_binary_bad_magic(self, tmp_path):
+        path = tmp_path / "bad.trcb"
+        path.write_bytes(b"XXXXXXXXXXXXXXXX")
+        with pytest.raises(TraceError):
+            load_trace(path)
+
+    def test_text_bad_event_line(self, tmp_path):
+        path = tmp_path / "bad2.trc"
+        path.write_text("# lrc-trace v1\nR zero nope\n")
+        with pytest.raises(TraceError):
+            load_trace(path)
+
+    @given(
+        st.lists(
+            st.one_of(
+                st.builds(
+                    Event.read,
+                    st.integers(0, 3),
+                    st.integers(0, 2**20).map(lambda a: a * 4),
+                    st.sampled_from([4, 8, 64]),
+                ),
+                st.builds(Event.acquire, st.integers(0, 3), st.integers(0, 9)),
+                st.builds(Event.at_barrier, st.integers(0, 3), st.integers(0, 3)),
+            ),
+            max_size=30,
+        )
+    )
+    def test_roundtrip_property(self, events):
+        trace = build_trace(4, events)
+        assert list(roundtrip_text(trace)) == list(trace)
+        assert list(roundtrip_binary(trace)) == list(trace)
+
+
+class TestValidation:
+    def test_valid_lock_chain(self):
+        validate_trace(lock_chain_trace())
+
+    def test_app_traces_validate(self, app_trace):
+        validate_trace(app_trace)
+
+    def test_double_acquire(self):
+        trace = build_trace(2, [Event.acquire(0, 0), Event.acquire(1, 0)])
+        with pytest.raises(TraceError):
+            validate_trace(trace)
+
+    def test_release_without_hold(self):
+        with pytest.raises(TraceError):
+            validate_trace(build_trace(1, [Event.release(0, 0)]))
+
+    def test_dangling_lock(self):
+        with pytest.raises(TraceError):
+            validate_trace(build_trace(1, [Event.acquire(0, 0)]))
+
+    def test_barrier_while_holding_lock(self):
+        trace = build_trace(
+            1, [Event.acquire(0, 0), Event.at_barrier(0, 0)]
+        )
+        with pytest.raises(TraceError):
+            validate_trace(trace)
+
+    def test_incomplete_barrier(self):
+        with pytest.raises(TraceError):
+            validate_trace(build_trace(2, [Event.at_barrier(0, 0)]))
+
+    def test_double_barrier_arrival(self):
+        trace = build_trace(
+            2, [Event.at_barrier(0, 0), Event.at_barrier(0, 0)]
+        )
+        with pytest.raises(TraceError):
+            validate_trace(trace)
+
+    def test_bad_access(self):
+        with pytest.raises(TraceError):
+            validate_trace(build_trace(1, [Event(EventType.READ, 0, addr=-4, size=4)]))
+        with pytest.raises(TraceError):
+            validate_trace(build_trace(1, [Event(EventType.READ, 0, addr=0, size=0)]))
+
+    def test_proc_out_of_range(self):
+        with pytest.raises(TraceError):
+            validate_trace(build_trace(2, [Event.read(5, 0)]))
+
+    def test_barrier_episodes(self):
+        trace = build_trace(
+            2,
+            [
+                Event.at_barrier(0, 0),
+                Event.at_barrier(1, 0),
+                Event.at_barrier(1, 0),
+                Event.at_barrier(0, 0),
+            ],
+        )
+        assert barrier_episodes(trace) == [0, 0]
+
+
+class TestTraceStats:
+    def test_counts(self):
+        trace = lock_chain_trace(n_procs=2, rounds=2)
+        stats = compute_stats(trace, page_size=512)
+        assert stats.n_reads == 4 and stats.n_writes == 4
+        assert stats.n_acquires == 4 and stats.n_releases == 4
+
+    def test_write_shared_detection(self):
+        trace = lock_chain_trace(n_procs=3)
+        stats = compute_stats(trace, page_size=512)
+        assert stats.write_shared_pages == 1
+        # Same word written by all three: true sharing, not false.
+        assert stats.falsely_write_shared_pages == 0
+
+    def test_false_sharing_detection(self):
+        trace = build_trace(2, [Event.write(0, 0x0), Event.write(1, 0x40)])
+        stats = compute_stats(trace, page_size=512)
+        page = stats.pages[0]
+        assert page.is_write_shared and page.is_falsely_write_shared
+        assert stats.false_sharing_fraction == 1.0
+
+    def test_false_sharing_depends_on_page_size(self):
+        trace = build_trace(2, [Event.write(0, 0x0), Event.write(1, 0x200)])
+        small = compute_stats(trace, page_size=512)
+        large = compute_stats(trace, page_size=2048)
+        assert small.falsely_write_shared_pages == 0
+        assert large.falsely_write_shared_pages == 1
+
+    def test_access_spanning_pages(self):
+        trace = build_trace(1, [Event.write(0, 0x1F8, 16)])
+        stats = compute_stats(trace, page_size=512)
+        assert set(stats.pages) == {0, 1}

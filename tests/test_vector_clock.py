@@ -1,0 +1,136 @@
+"""Unit and property tests for vector clocks."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.common.vector_clock import VectorClock
+
+clocks = st.lists(st.integers(min_value=-1, max_value=50), min_size=1, max_size=8).map(
+    VectorClock
+)
+
+
+def paired_clocks(n: int = 4):
+    entry = st.integers(min_value=-1, max_value=50)
+    return st.tuples(
+        st.lists(entry, min_size=n, max_size=n).map(VectorClock),
+        st.lists(entry, min_size=n, max_size=n).map(VectorClock),
+    )
+
+
+class TestBasics:
+    def test_zero(self):
+        clock = VectorClock.zero(4)
+        assert len(clock) == 4
+        assert all(entry == -1 for entry in clock)
+
+    def test_zero_needs_positive_count(self):
+        with pytest.raises(ValueError):
+            VectorClock.zero(0)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            VectorClock([])
+
+    def test_indexing_and_entries(self):
+        clock = VectorClock([1, 2, 3])
+        assert clock[0] == 1
+        assert clock.entries() == (1, 2, 3)
+
+    def test_equality_and_hash(self):
+        assert VectorClock([1, 2]) == VectorClock([1, 2])
+        assert hash(VectorClock([1, 2])) == hash(VectorClock([1, 2]))
+        assert VectorClock([1, 2]) != VectorClock([2, 1])
+
+
+class TestAdvance:
+    def test_advanced_sets_entry(self):
+        clock = VectorClock.zero(3).advanced(1, 5)
+        assert clock.entries() == (-1, 5, -1)
+
+    def test_advanced_is_pure(self):
+        base = VectorClock.zero(2)
+        base.advanced(0, 3)
+        assert base.entries() == (-1, -1)
+
+    def test_no_backwards(self):
+        clock = VectorClock([5, 0])
+        with pytest.raises(ValueError):
+            clock.advanced(0, 4)
+
+
+class TestOrder:
+    def test_dominates_reflexive(self):
+        clock = VectorClock([3, 1, 4])
+        assert clock.dominates(clock)
+        assert not clock.strictly_dominates(clock)
+
+    def test_strict_domination(self):
+        low = VectorClock([1, 1])
+        high = VectorClock([2, 1])
+        assert high.strictly_dominates(low)
+        assert not low.dominates(high)
+
+    def test_concurrent(self):
+        a = VectorClock([2, 0])
+        b = VectorClock([0, 2])
+        assert a.concurrent_with(b)
+        assert b.concurrent_with(a)
+
+    def test_incompatible_sizes(self):
+        with pytest.raises(ValueError):
+            VectorClock([1]).dominates(VectorClock([1, 2]))
+
+
+class TestMergeAndGaps:
+    def test_merged_is_pointwise_max(self):
+        merged = VectorClock([1, 5, 0]).merged(VectorClock([3, 2, 0]))
+        assert merged.entries() == (3, 5, 0)
+
+    def test_missing_from(self):
+        sender = VectorClock([4, 2, -1])
+        receiver = VectorClock([1, 2, -1])
+        assert sender.missing_from(receiver) == [(0, 2, 4)]
+
+    def test_missing_from_multiple_procs(self):
+        sender = VectorClock([4, 3, 0])
+        receiver = VectorClock([4, 1, -1])
+        assert sender.missing_from(receiver) == [(1, 2, 3), (2, 0, 0)]
+
+    def test_missing_from_nothing(self):
+        clock = VectorClock([1, 2])
+        assert clock.missing_from(clock) == []
+
+
+class TestProperties:
+    @given(paired_clocks())
+    def test_merge_commutes(self, pair):
+        a, b = pair
+        assert a.merged(b) == b.merged(a)
+
+    @given(paired_clocks())
+    def test_merge_dominates_both(self, pair):
+        a, b = pair
+        merged = a.merged(b)
+        assert merged.dominates(a) and merged.dominates(b)
+
+    @given(paired_clocks())
+    def test_order_trichotomy(self, pair):
+        a, b = pair
+        ordered = a.dominates(b) or b.dominates(a)
+        assert ordered != a.concurrent_with(b)
+
+    @given(paired_clocks())
+    def test_missing_from_closes_the_gap(self, pair):
+        """Applying all missing intervals brings the receiver up to date."""
+        sender, receiver = pair
+        entries = list(receiver.entries())
+        for proc, _first, last in sender.missing_from(receiver):
+            entries[proc] = max(entries[proc], last)
+        assert VectorClock(entries).dominates(sender) or all(
+            VectorClock(entries)[p] >= sender[p] for p in range(len(sender))
+        )
+
+    @given(clocks)
+    def test_merge_idempotent(self, clock):
+        assert clock.merged(clock) == clock
