@@ -1,0 +1,53 @@
+"""Serial vs parallel sweep — the evaluation pipeline's wall-clock knob.
+
+Times the full 4-protocol x 5-page-size grid over the water trace, once
+serially and once with ``jobs=4`` worker processes, and asserts the two
+grids are cell-for-cell identical. The speedup is hardware-dependent
+(on a single-CPU host the parallel run pays pool overhead for nothing;
+see docs/PERFORMANCE.md); the identity of the results is not.
+"""
+
+import os
+
+import pytest
+
+from repro.apps import APPS
+from repro.simulator.sweep import run_sweep
+
+
+@pytest.fixture(scope="module")
+def trace():
+    return APPS["water"](n_procs=8, seed=0, n_molecules=96, timesteps=2)
+
+
+@pytest.fixture(scope="module")
+def serial_sweep(trace):
+    return run_sweep(trace)
+
+
+@pytest.mark.parametrize("jobs", [1, 4])
+def test_sweep_wall_clock(benchmark, trace, jobs):
+    sweep = benchmark.pedantic(
+        lambda: run_sweep(trace, jobs=jobs), rounds=1, iterations=1
+    )
+    assert len(sweep.grid) == 4 * 5
+    print(
+        f"\njobs={jobs}: {benchmark.stats.stats.mean:.2f}s for "
+        f"{len(sweep.grid)} cells on {os.cpu_count()} CPU(s)"
+    )
+
+
+def test_parallel_grid_matches_serial(trace, serial_sweep):
+    parallel = run_sweep(trace, jobs=4)
+    assert list(parallel.grid) == list(serial_sweep.grid)
+    for key, serial_result in serial_sweep.grid.items():
+        parallel_result = parallel.grid[key]
+        assert (
+            serial_result.messages,
+            serial_result.data_bytes,
+            serial_result.counters,
+        ) == (
+            parallel_result.messages,
+            parallel_result.data_bytes,
+            parallel_result.counters,
+        ), key

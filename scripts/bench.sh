@@ -1,0 +1,18 @@
+#!/usr/bin/env bash
+# Run the simulator performance suite and refresh the BENCH_*.json
+# trajectory files at the repo root.
+#
+#   scripts/bench.sh            # core throughput + sweep benches
+#   scripts/bench.sh --full     # also the whole pytest-benchmark suite
+set -euo pipefail
+cd "$(dirname "$0")/.."
+export PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}"
+
+python -m pytest benchmarks/bench_simulator_throughput.py \
+    benchmarks/bench_sweep_parallel.py -q -s
+
+if [[ "${1:-}" == "--full" ]]; then
+    python -m pytest benchmarks -q
+fi
+
+python scripts/bench_core.py

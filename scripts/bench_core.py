@@ -1,0 +1,93 @@
+#!/usr/bin/env python
+"""Measure core simulator performance and write BENCH_core.json.
+
+Two measurements, both over the water trace used by
+``benchmarks/bench_simulator_throughput.py`` (n_procs=8, 96 molecules,
+2 timesteps, 2048-byte pages):
+
+* events/second for each of the four protocols (best of N runs), and
+* wall-clock for the full 4x5 sweep grid, serial vs ``jobs=4``.
+
+The JSON lands at the repo root so successive PRs accumulate a
+performance trajectory — re-run ``scripts/bench.sh`` after simulator
+changes and compare against the committed baseline.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import platform
+import sys
+import time
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.apps import APPS  # noqa: E402
+from repro.simulator.engine import simulate  # noqa: E402
+from repro.simulator.sweep import run_sweep  # noqa: E402
+
+PROTOCOLS = ("LI", "LU", "EI", "EU")
+PAGE_SIZE = 2048
+ROUNDS = 5
+
+
+def best_of(fn, rounds: int = ROUNDS) -> float:
+    best = float("inf")
+    for _ in range(rounds):
+        start = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def main() -> int:
+    trace = APPS["water"](n_procs=8, seed=0, n_molecules=96, timesteps=2)
+    n_events = len(trace)
+
+    throughput = {}
+    for protocol in PROTOCOLS:
+        elapsed = best_of(lambda: simulate(trace, protocol, page_size=PAGE_SIZE))
+        throughput[protocol] = round(n_events / elapsed)
+        print(f"{protocol}: {throughput[protocol]:,} events/s")
+
+    serial_s = best_of(lambda: run_sweep(trace), rounds=2)
+    jobs4_s = best_of(lambda: run_sweep(trace, jobs=4), rounds=2)
+    print(f"sweep serial={serial_s:.2f}s jobs=4={jobs4_s:.2f}s")
+
+    report = {
+        "generated": time.strftime("%Y-%m-%d"),
+        "host": {
+            "cpu_count": os.cpu_count(),
+            "python": platform.python_version(),
+        },
+        "workload": {
+            "app": "water",
+            "n_procs": 8,
+            "n_molecules": 96,
+            "timesteps": 2,
+            "events": n_events,
+            "page_size": PAGE_SIZE,
+        },
+        "throughput_events_per_s": throughput,
+        "sweep": {
+            "grid_cells": 20,
+            "serial_s": round(serial_s, 3),
+            "jobs4_s": round(jobs4_s, 3),
+            "speedup_jobs4": round(serial_s / jobs4_s, 2),
+            "note": (
+                "speedup tracks available CPUs; on a single-CPU host "
+                "jobs=4 only adds pool overhead (results stay identical)"
+            ),
+        },
+    }
+    out = REPO_ROOT / "BENCH_core.json"
+    out.write_text(json.dumps(report, indent=2) + "\n")
+    print(f"wrote {out}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -54,11 +54,19 @@ def build_parser() -> argparse.ArgumentParser:
     sweep_p.add_argument(
         "--page-sizes", type=int, nargs="+", default=list(PAPER_PAGE_SIZES)
     )
+    sweep_p.add_argument(
+        "--jobs", type=int, default=1,
+        help="worker processes for the sweep grid (1 = serial)",
+    )
 
     figures_p = sub.add_parser("figures", help="regenerate Figures 5-14")
     figures_p.add_argument("--apps", nargs="+", choices=sorted(APPS), default=sorted(APPS))
     figures_p.add_argument("--n-procs", type=int, default=16)
     figures_p.add_argument("--seed", type=int, default=0)
+    figures_p.add_argument(
+        "--jobs", type=int, default=1,
+        help="worker processes per figure sweep (1 = serial)",
+    )
 
     sub.add_parser("table1", help="validate per-operation message costs")
 
@@ -134,7 +142,7 @@ def _cmd_run(args) -> int:
 
 def _cmd_sweep(args) -> int:
     trace = generate(args.app, n_procs=args.n_procs, seed=args.seed)
-    sweep = run_figure(args.app, page_sizes=args.page_sizes, trace=trace)
+    sweep = run_figure(args.app, page_sizes=args.page_sizes, trace=trace, jobs=args.jobs)
     spec = FIGURES[args.app]
     print(format_figure_table(sweep, f"Figure {spec.messages_figure}", "messages"))
     print()
@@ -144,7 +152,7 @@ def _cmd_sweep(args) -> int:
 
 def _cmd_figures(args) -> int:
     for app in args.apps:
-        sweep = run_figure(app, n_procs=args.n_procs, seed=args.seed)
+        sweep = run_figure(app, n_procs=args.n_procs, seed=args.seed, jobs=args.jobs)
         spec = FIGURES[app]
         print(format_figure_table(sweep, f"Figure {spec.messages_figure}", "messages"))
         print()

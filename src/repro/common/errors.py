@@ -26,6 +26,15 @@ class TraceError(ReproError):
     """A malformed or ill-ordered trace (bad event, codec failure, ...)."""
 
 
+class SimulatorError(ReproError):
+    """The simulation engine was driven incorrectly.
+
+    Raised for harness-level misuse — e.g. replaying a trace through an
+    :class:`~repro.simulator.engine.Engine` whose protocol instance has
+    already consumed a run (which would silently double-count traffic).
+    """
+
+
 class RuntimeDeadlockError(ReproError):
     """The deterministic runtime found no runnable thread.
 

@@ -5,17 +5,25 @@ vector timestamp ``V_p(i)`` with one entry per processor: the entry for
 ``p`` is ``i`` itself; the entry for ``q != p`` is the most recent interval
 of ``q`` that has *performed at* ``p``. Comparing vector clocks decides the
 happened-before-1 partial order between intervals.
+
+Clock operations run on every acquire, release and barrier of all four
+protocols, so the representation is tuned for the simulator's hot path:
+entries live in a plain tuple (cheap indexing, hashing and equality),
+``dominates``/``merged`` short-circuit on equality and reuse existing
+instances instead of allocating, and a small bounded memo caches merge
+results — sweeps replay the same synchronization structure once per
+(protocol, page size) cell, so the same merges recur constantly.
 """
 
 from __future__ import annotations
 
-from typing import Iterable, Iterator, List, Tuple
+from typing import Dict, Iterable, Iterator, List, Tuple
 
 from repro.common.types import ProcId
 
 
 class VectorClock:
-    """An immutable-by-convention vector of per-processor interval indices.
+    """An immutable vector of per-processor interval indices.
 
     Entries start at ``-1`` meaning "no interval of that processor has
     performed here yet" (interval indices are zero-based).
@@ -23,8 +31,12 @@ class VectorClock:
 
     __slots__ = ("_entries",)
 
+    #: Bounded memo of merge results, keyed by the two entry tuples.
+    _merge_memo: Dict[Tuple[Tuple[int, ...], Tuple[int, ...]], "VectorClock"] = {}
+    _MERGE_MEMO_LIMIT = 4096
+
     def __init__(self, entries: Iterable[int]):
-        self._entries: List[int] = list(entries)
+        self._entries: Tuple[int, ...] = tuple(entries)
         if not self._entries:
             raise ValueError("a vector clock needs at least one entry")
 
@@ -33,7 +45,7 @@ class VectorClock:
         """A clock that dominates nothing: every entry is -1."""
         if n_procs <= 0:
             raise ValueError(f"n_procs must be positive, got {n_procs}")
-        return cls([-1] * n_procs)
+        return cls((-1,) * n_procs)
 
     # -- accessors ---------------------------------------------------------
 
@@ -47,8 +59,8 @@ class VectorClock:
         return iter(self._entries)
 
     def entries(self) -> Tuple[int, ...]:
-        """The entries as an immutable tuple."""
-        return tuple(self._entries)
+        """The entries as an immutable tuple (no copy)."""
+        return self._entries
 
     # -- comparison (partial order) ----------------------------------------
 
@@ -58,7 +70,7 @@ class VectorClock:
         return self._entries == other._entries
 
     def __hash__(self) -> int:
-        return hash(tuple(self._entries))
+        return hash(self._entries)
 
     def dominates(self, other: "VectorClock") -> bool:
         """True if every entry of ``self`` is >= the matching entry of ``other``.
@@ -66,8 +78,15 @@ class VectorClock:
         ``a.dominates(b)`` with ``a != b`` means every interval visible at
         ``b`` is also visible at ``a`` (``b`` happened before ``a``).
         """
-        self._check_compatible(other)
-        return all(a >= b for a, b in zip(self._entries, other._entries))
+        mine, theirs = self._entries, other._entries
+        if len(mine) != len(theirs):
+            self._check_compatible(other)
+        if mine == theirs:
+            return True
+        for a, b in zip(mine, theirs):
+            if a < b:
+                return False
+        return True
 
     def strictly_dominates(self, other: "VectorClock") -> bool:
         """``dominates`` and differs in at least one entry."""
@@ -84,19 +103,42 @@ class VectorClock:
 
         ``index`` must not move backwards; vector clocks are monotonic.
         """
-        if index < self._entries[proc]:
+        entries = self._entries
+        if index < entries[proc]:
             raise ValueError(
                 f"clock entry for p{proc} may not go backwards "
-                f"({self._entries[proc]} -> {index})"
+                f"({entries[proc]} -> {index})"
             )
-        entries = list(self._entries)
-        entries[proc] = index
-        return VectorClock(entries)
+        return VectorClock(entries[:proc] + (index,) + entries[proc + 1 :])
 
     def merged(self, other: "VectorClock") -> "VectorClock":
-        """The pointwise maximum of two clocks (join in the lattice)."""
-        self._check_compatible(other)
-        return VectorClock(max(a, b) for a, b in zip(self._entries, other._entries))
+        """The pointwise maximum of two clocks (join in the lattice).
+
+        Allocation-free when one side already dominates the other (the
+        common case at acquires: the grantor's clock usually covers the
+        acquirer's); other results come from a bounded memo.
+        """
+        mine, theirs = self._entries, other._entries
+        if len(mine) != len(theirs):
+            self._check_compatible(other)
+        if mine == theirs:
+            return self
+        memo = VectorClock._merge_memo
+        key = (mine, theirs)
+        cached = memo.get(key)
+        if cached is not None:
+            return cached
+        joined = tuple(a if a >= b else b for a, b in zip(mine, theirs))
+        if joined == mine:
+            result = self
+        elif joined == theirs:
+            result = other
+        else:
+            result = VectorClock(joined)
+        if len(memo) >= VectorClock._MERGE_MEMO_LIMIT:
+            memo.clear()
+        memo[key] = result
+        return result
 
     def missing_from(self, other: "VectorClock") -> List[Tuple[ProcId, int, int]]:
         """Intervals known to ``self`` but not to ``other``.
@@ -107,6 +149,8 @@ class VectorClock:
         exactly the set of write notices a releaser must send an acquirer.
         """
         self._check_compatible(other)
+        if self._entries == other._entries:
+            return []
         gaps: List[Tuple[ProcId, int, int]] = []
         for proc, (mine, theirs) in enumerate(zip(self._entries, other._entries)):
             if mine > theirs:
@@ -121,4 +165,4 @@ class VectorClock:
             )
 
     def __repr__(self) -> str:
-        return f"VectorClock({self._entries!r})"
+        return f"VectorClock({list(self._entries)!r})"

@@ -63,11 +63,13 @@ def run_figure(
     page_sizes: Optional[Sequence[int]] = None,
     scale: Optional[Dict[str, int]] = None,
     trace: Optional[TraceStream] = None,
+    jobs: Optional[int] = None,
 ) -> SweepResult:
     """Regenerate one application's messages/data figures.
 
     Pass ``trace`` to reuse a pre-generated trace (the benches do, to keep
-    trace generation out of the timed region).
+    trace generation out of the timed region). ``jobs=N`` parallelizes the
+    sweep grid over worker processes (see :func:`repro.simulator.sweep.run_sweep`).
     """
     spec = FIGURES[app]
     if trace is None:
@@ -76,7 +78,9 @@ def run_figure(
             params.update(scale)
         trace = APPS[app](n_procs=n_procs, seed=seed, **params)
     sizes = list(page_sizes) if page_sizes else list(PAPER_PAGE_SIZES)
-    return run_sweep(trace, page_sizes=sizes, config=SimConfig(n_procs=trace.n_procs))
+    return run_sweep(
+        trace, page_sizes=sizes, config=SimConfig(n_procs=trace.n_procs), jobs=jobs
+    )
 
 
 #: A shape assertion: name -> predicate over one SweepResult.

@@ -89,9 +89,10 @@ class PageTable:
 
     def entry(self, page_id: PageId) -> PageEntry:
         """The entry for ``page_id``, created MISSING on first use."""
-        if page_id not in self._entries:
-            self._entries[page_id] = PageEntry(page_id)
-        return self._entries[page_id]
+        entry = self._entries.get(page_id)
+        if entry is None:
+            entry = self._entries[page_id] = PageEntry(page_id)
+        return entry
 
     def lookup(self, page_id: PageId) -> Optional[PageEntry]:
         """The entry if the page was ever touched here, else None."""

@@ -21,6 +21,9 @@ from repro.network.stats import NetworkStats
 #: Signature of a message handler: (message) -> optional reply body.
 Handler = Callable[[Message], Optional[Dict[str, Any]]]
 
+#: Pure-acknowledgment kinds, precomputed (send() is a hot path).
+_ACK_KINDS = frozenset(kind for kind in MessageKind if kind.is_ack)
+
 
 class Network:
     """All point-to-point channels between ``n_procs`` processors."""
@@ -35,6 +38,12 @@ class Network:
         self._handlers: Dict[ProcId, Handler] = {}
         self._log: List[Message] = []
         self.keep_log = False
+        # Cost-model policy flags, hoisted: send() runs once per message
+        # of every sweep cell and the model is immutable.
+        self._count_acks = self.cost_model.count_acks
+        self._count_header = self.cost_model.count_header_in_data
+        self._count_control = self.cost_model.count_control_in_data
+        self._header_bytes = self.cost_model.header_bytes
 
     def channel(self, src: ProcId, dst: ProcId) -> Channel:
         """The (lazily created) channel from ``src`` to ``dst``."""
@@ -80,12 +89,18 @@ class Network:
             body=body,
         )
         if src != dst:
-            counted = self.cost_model.count_acks or not kind.is_ack
-            data = self.cost_model.message_data_bytes(payload_bytes, control_bytes)
+            counted = self._count_acks or kind not in _ACK_KINDS
+            data = payload_bytes
+            if self._count_control:
+                data += control_bytes
+            if self._count_header:
+                data += self._header_bytes
             self.stats.record(message, data_bytes=data, counted=counted)
             if self.keep_log:
                 self._log.append(message)
-            channel = self.channel(src, dst)
+            channel = self._channels.get((src, dst))
+            if channel is None:
+                channel = self.channel(src, dst)
             channel.push(message)
             delivered = channel.pop()
             assert delivered is message

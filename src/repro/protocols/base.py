@@ -70,21 +70,24 @@ class Protocol(abc.ABC):
 
     def read(self, proc: ProcId, page: PageId, words: Sequence[int]) -> List[int]:
         """Perform a read access; returns the values observed."""
-        entry = self.entry(proc, page)
-        if entry.state != PageState.VALID:
+        entry = self.procs[proc].pages.entry(page)
+        if entry.state is not PageState.VALID:
             self._service_miss(proc, page, entry)
-        return [entry.page.read(w) for w in words]
+        get = entry.page.words.get
+        return [get(w, 0) for w in words]
 
     def write(self, proc: ProcId, page: PageId, words: Sequence[int], token: int) -> None:
         """Perform a write access, tagging every written word with ``token``."""
-        entry = self.entry(proc, page)
-        if entry.state != PageState.VALID:
+        entry = self.procs[proc].pages.entry(page)
+        if entry.state is not PageState.VALID:
             self._service_miss(proc, page, entry)
-        if not entry.is_dirty:
+        if not entry.dirty_words:
             entry.make_twin()
+        page_words = entry.page.words
+        dirty_words = entry.dirty_words
         for word in words:
-            entry.page.write(word, token)
-            entry.dirty_words[word] = token
+            page_words[word] = token
+            dirty_words[word] = token
         self._note_write(proc, page, entry)
 
     def acquire(self, proc: ProcId, lock: LockId) -> None:

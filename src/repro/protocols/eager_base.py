@@ -120,10 +120,18 @@ class EagerProtocol(Protocol):
             self._post_flush_page(proc, page)
             entry.clear_dirty()
 
+        # A diff shipped to k destinations has one wire size; compute it
+        # once instead of re-run-length-encoding per destination.
+        wire_cache: Dict[int, int] = {}
         for dest in sorted(per_dest):
             diffs = per_dest[dest]
             if self.update:
-                payload = sum(diff.wire_bytes(self.costs) for diff in diffs)
+                payload = 0
+                for diff in diffs:
+                    wire = wire_cache.get(id(diff))
+                    if wire is None:
+                        wire = wire_cache[id(diff)] = diff.wire_bytes(self.costs)
+                    payload += wire
                 self.network.send(update_kind, proc, dest, payload_bytes=payload)
                 self._apply_updates(dest, diffs)
             else:

@@ -233,20 +233,44 @@ class LazyProtocol(Protocol):
         return total
 
     def _prune_overwritten(self, needed: List[Diff]) -> List[Diff]:
-        """Drop diffs every word of which a later (hb) needed diff rewrites."""
+        """Drop diffs every word of which a later (hb) needed diff rewrites.
+
+        The pairwise scan is the lazy protocols' hottest loop (every miss
+        and every eager pull runs it), so interval lookups are hoisted out
+        of the O(n^2) inner loop and word sets are compared as dict key
+        views instead of freshly built sets.
+        """
+        if len(needed) < 2:
+            return needed
+        get = self.store.get
+        intervals = [get((diff.creator, diff.interval)) for diff in needed]
+        word_keys = [diff.words.keys() for diff in needed]
+        pages = [diff.page for diff in needed]
+        # Interval.precedes inlined over these arrays: (p, idx) precedes
+        # j iff same-processor order (idx < indices[j]) or j's timestamp
+        # covers it (vc_entries[j][p] >= idx).
+        procs = [interval.proc for interval in intervals]
+        indices = [interval.index for interval in intervals]
+        vc_entries = [interval.vc.entries() for interval in intervals]
         kept: List[Diff] = []
-        for diff in needed:
-            interval = self.store.get((diff.creator, diff.interval))
-            overwritten = False
-            for other in needed:
-                if other is diff or other.page != diff.page:
+        n = len(needed)
+        for i in range(n):
+            keys = word_keys[i]
+            page = pages[i]
+            p = procs[i]
+            idx = indices[i]
+            for j in range(n):
+                if j == i or pages[j] != page:
                     continue
-                other_interval = self.store.get((other.creator, other.interval))
-                if interval.precedes(other_interval) and set(diff.words) <= set(other.words):
-                    overwritten = True
+                if procs[j] == p:
+                    if idx >= indices[j]:
+                        continue
+                elif vc_entries[j][p] < idx:
+                    continue
+                if keys <= word_keys[j]:
                     break
-            if not overwritten:
-                kept.append(diff)
+            else:
+                kept.append(needed[i])
         return kept
 
     def _apply_diffs(self, proc: ProcId, diffs: List[Diff]) -> None:

@@ -5,18 +5,38 @@ accesses are split at page boundaries (the trace is page-size
 independent); special accesses invoke the protocol's synchronization
 paths. Every write is tagged with its event sequence number as a unique
 token, which is what the consistency checker later audits.
+
+The hot loop dispatches on a precompiled instruction list (see
+:mod:`repro.trace.precompile`): page splits are computed once per
+(trace, page size) and shared by every protocol replay at that page
+size, and the single-page common case reaches the protocol without any
+per-event list building. :meth:`Engine.run_reference` keeps the original
+event-by-event interpreter as the equivalence baseline — both paths must
+produce bit-identical :class:`SimulationResult` fields, and the test
+suite asserts they do.
 """
 
 from __future__ import annotations
 
-from typing import List, Optional, Tuple, Type, Union
+from typing import Dict, List, Optional, Tuple, Type, Union
 
-from repro.common.types import page_of, words_in_range
+from repro.common.errors import SimulatorError
 from repro.protocols.base import Protocol
 from repro.protocols.registry import protocol_class
 from repro.config import SimConfig
 from repro.simulator.results import SimulationResult
 from repro.trace.events import EventType
+from repro.trace.precompile import (
+    OP_ACQUIRE,
+    OP_BARRIER,
+    OP_READ,
+    OP_READ_N,
+    OP_RELEASE,
+    OP_WRITE,
+    OP_WRITE_N,
+    CompiledTrace,
+    split_access,
+)
 from repro.trace.stream import TraceStream
 from repro.trace.validate import validate_trace
 
@@ -30,21 +50,90 @@ class Engine:
         config: SimConfig,
         protocol: Union[str, Type[Protocol]],
         validate: bool = False,
+        compiled: Optional[CompiledTrace] = None,
     ):
         if trace.n_procs > config.n_procs:
             raise ValueError(
                 f"trace uses {trace.n_procs} processors but config allows "
                 f"{config.n_procs}"
             )
+        if compiled is not None and compiled.page_size != config.page_size:
+            raise ValueError(
+                f"compiled trace is specialized for {compiled.page_size}-byte "
+                f"pages but config.page_size is {config.page_size}"
+            )
         self.trace = trace
         self.config = config
         cls = protocol_class(protocol) if isinstance(protocol, str) else protocol
         self.protocol: Protocol = cls(config)
+        self._compiled = compiled
+        self._ran = False
         if validate:
             validate_trace(trace)
 
+    def _claim_run(self) -> None:
+        if self._ran:
+            raise SimulatorError(
+                "Engine.run() may only be called once: the protocol instance "
+                "carries state, so a second replay would double-count all "
+                "traffic. Build a new Engine (or call simulate()) per run."
+            )
+        self._ran = True
+
     def run(self) -> SimulationResult:
         """Replay the whole trace and return the accounting."""
+        self._claim_run()
+        compiled = self._compiled
+        if compiled is None:
+            compiled = self.trace.compiled(self.config.page_size)
+        protocol = self.protocol
+        record = self.config.record_values
+        read_values: Optional[List[Tuple[int, List[int]]]] = [] if record else None
+        # Bind the protocol entry points once; the loop below runs for
+        # every event of every sweep cell.
+        read = protocol.read
+        write = protocol.write
+        acquire = protocol.acquire
+        release = protocol.release
+        barrier = protocol.barrier
+
+        for op in compiled.ops:
+            code = op[0]
+            if code == OP_WRITE:
+                write(op[1], op[2], op[3], token=op[4])
+            elif code == OP_READ:
+                values = read(op[1], op[2], op[3])
+                if record:
+                    read_values.append((op[4], values))
+            elif code == OP_ACQUIRE:
+                acquire(op[1], op[2])
+            elif code == OP_RELEASE:
+                release(op[1], op[2])
+            elif code == OP_BARRIER:
+                barrier(op[1], op[2])
+            elif code == OP_READ_N:
+                values = []
+                for page, words in op[2]:
+                    values.extend(read(op[1], page, words))
+                if record:
+                    read_values.append((op[3], values))
+            else:  # OP_WRITE_N
+                proc, token = op[1], op[3]
+                for page, words in op[2]:
+                    write(proc, page, words, token=token)
+
+        protocol.finish()
+        return self._result(read_values)
+
+    def run_reference(self) -> SimulationResult:
+        """The original event-by-event interpreter, kept as the baseline.
+
+        Splits every access at replay time instead of dispatching on the
+        precompiled form. Slower, but structurally closest to the paper's
+        description — the equivalence tests assert :meth:`run` matches
+        this path field for field.
+        """
+        self._claim_run()
         protocol = self.protocol
         page_size = self.config.page_size
         record = self.config.record_values
@@ -114,18 +203,23 @@ class Engine:
         )
 
 
-def _split_access(addr: int, size: int, page_size: int) -> List[Tuple[int, List[int]]]:
-    """Split a byte-range access into (page, word-indices) chunks."""
-    chunks: List[Tuple[int, List[int]]] = []
-    remaining = size
-    while remaining > 0:
-        page = page_of(addr, page_size)
-        words = list(words_in_range(addr, remaining, page_size))
-        chunks.append((page, words))
-        covered = (page + 1) * page_size - addr
-        addr += covered
-        remaining -= covered
-    return chunks
+#: Per-page-size caches backing :func:`_split_access`; bounded so a long
+#: run over many distinct (addr, size) pairs cannot grow without limit.
+_SPLIT_CACHES: Dict[int, Dict[Tuple[int, int], tuple]] = {}
+_SPLIT_CACHE_LIMIT = 1 << 16
+
+
+def _split_access(addr: int, size: int, page_size: int) -> List[Tuple[int, Tuple[int, ...]]]:
+    """Split a byte-range access into (page, word-indices) chunks.
+
+    ``words`` is an immutable tuple, shared between repeated
+    ``(addr, size)`` pairs via a per-page-size memo — traces revisit the
+    same addresses constantly, so most calls are cache hits.
+    """
+    cache = _SPLIT_CACHES.setdefault(page_size, {})
+    if len(cache) > _SPLIT_CACHE_LIMIT:
+        cache.clear()
+    return list(split_access(addr, size, page_size, cache))
 
 
 def simulate(

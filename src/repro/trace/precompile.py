@@ -1,0 +1,143 @@
+"""Trace precompilation: lowering a stream to page-size-specialized ops.
+
+A :class:`TraceStream` is page-size independent (byte addresses); the
+engine must split every ordinary access at page boundaries before calling
+into the protocol. Inside a sweep the same trace is replayed once per
+(protocol, page size) cell, so the same splits are recomputed for every
+protocol at a given page size. :func:`compile_trace` performs that split
+exactly once, producing a :class:`CompiledTrace` — a flat list of compact
+instruction tuples the engine dispatches on directly. One compiled trace
+is shared by all protocols at its page size (a 4x amortization in the
+paper's sweeps), and :meth:`TraceStream.compiled` memoizes per page size
+so even repeated :func:`~repro.simulator.engine.simulate` calls pay for
+compilation once.
+
+Instruction encoding (first element is the opcode):
+
+==============  =======================================  =================
+opcode          operands                                 engine action
+==============  =======================================  =================
+``OP_READ``     ``(proc, page, words, seq)``             single-page read
+``OP_READ_N``   ``(proc, chunks, seq)``                  multi-page read
+``OP_WRITE``    ``(proc, page, words, seq)``             single-page write
+``OP_WRITE_N``  ``(proc, chunks, seq)``                  multi-page write
+``OP_ACQUIRE``  ``(proc, lock)``                         lock acquire
+``OP_RELEASE``  ``(proc, lock)``                         lock release
+``OP_BARRIER``  ``(proc, barrier)``                      barrier arrival
+==============  =======================================  =================
+
+``words`` is an immutable tuple of word indices within the page;
+``chunks`` is a tuple of ``(page, words)`` pairs in ascending page order.
+The single-page forms cover the overwhelmingly common case (accesses
+rarely straddle pages) and let the engine skip chunk iteration entirely.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.common.types import words_in_range
+from repro.trace.events import EventType
+
+OP_READ = 0
+OP_WRITE = 1
+OP_READ_N = 2
+OP_WRITE_N = 3
+OP_ACQUIRE = 4
+OP_RELEASE = 5
+OP_BARRIER = 6
+
+#: One chunk of a page-boundary-split access.
+Chunk = Tuple[int, Tuple[int, ...]]
+
+
+class CompiledTrace:
+    """One trace lowered to instruction tuples for one page size."""
+
+    __slots__ = ("page_size", "n_procs", "n_events", "ops")
+
+    def __init__(self, page_size: int, n_procs: int, n_events: int, ops: List[tuple]):
+        self.page_size = page_size
+        self.n_procs = n_procs
+        self.n_events = n_events
+        self.ops = ops
+
+    def __len__(self) -> int:
+        return len(self.ops)
+
+    def __repr__(self) -> str:
+        return (
+            f"CompiledTrace(page_size={self.page_size}, "
+            f"{self.n_events} events -> {len(self.ops)} ops)"
+        )
+
+
+def split_access(
+    addr: int,
+    size: int,
+    page_size: int,
+    _cache: Optional[Dict[Tuple[int, int], Tuple[Chunk, ...]]] = None,
+) -> Tuple[Chunk, ...]:
+    """Split a byte-range access into ``(page, words)`` chunks.
+
+    ``words`` tuples are shared between identical ``(addr, size)`` pairs
+    when a cache dict is supplied (traces revisit the same addresses
+    constantly, so the hit rate is high).
+    """
+    if _cache is not None:
+        cached = _cache.get((addr, size))
+        if cached is not None:
+            return cached
+        key = (addr, size)
+    else:
+        key = None
+    chunks: List[Chunk] = []
+    cur = addr
+    remaining = size
+    while remaining > 0:
+        page = cur // page_size
+        chunks.append((page, tuple(words_in_range(cur, remaining, page_size))))
+        covered = (page + 1) * page_size - cur
+        cur += covered
+        remaining -= covered
+    result = tuple(chunks)
+    if key is not None:
+        _cache[key] = result
+    return result
+
+
+def compile_trace(trace, page_size: int) -> CompiledTrace:
+    """Lower ``trace`` into a :class:`CompiledTrace` for ``page_size``.
+
+    Splitting work is shared two ways: identical ``(addr, size)`` accesses
+    reuse one chunk tuple (the per-compile cache below), and the whole
+    compiled trace is reused across every protocol run at this page size.
+    """
+    ops: List[tuple] = []
+    append = ops.append
+    cache: Dict[Tuple[int, int], Tuple[Chunk, ...]] = {}
+    read_t, write_t = EventType.READ, EventType.WRITE
+    acquire_t, release_t = EventType.ACQUIRE, EventType.RELEASE
+    for event in trace:
+        etype = event.type
+        if etype is read_t or etype is write_t:
+            chunks = split_access(event.addr, event.size, page_size, cache)
+            if etype is read_t:
+                if len(chunks) == 1:
+                    page, words = chunks[0]
+                    append((OP_READ, event.proc, page, words, event.seq))
+                else:
+                    append((OP_READ_N, event.proc, chunks, event.seq))
+            else:
+                if len(chunks) == 1:
+                    page, words = chunks[0]
+                    append((OP_WRITE, event.proc, page, words, event.seq))
+                else:
+                    append((OP_WRITE_N, event.proc, chunks, event.seq))
+        elif etype is acquire_t:
+            append((OP_ACQUIRE, event.proc, event.lock))
+        elif etype is release_t:
+            append((OP_RELEASE, event.proc, event.lock))
+        else:
+            append((OP_BARRIER, event.proc, event.barrier))
+    return CompiledTrace(page_size, trace.n_procs, len(trace), ops)

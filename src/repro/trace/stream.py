@@ -33,6 +33,7 @@ class TraceStream:
     def __init__(self, meta: TraceMeta, events: Optional[Sequence[Event]] = None):
         self.meta = meta
         self._events: List[Event] = []
+        self._compiled: Dict[int, object] = {}
         if events:
             for event in events:
                 self.append(event)
@@ -41,6 +42,29 @@ class TraceStream:
         """Append an event, assigning its global sequence number."""
         event.seq = len(self._events)
         self._events.append(event)
+        if self._compiled:
+            self._compiled = {}
+
+    def compiled(self, page_size: int):
+        """This trace lowered for ``page_size``, memoized until mutation.
+
+        The compiled form is what the engine's fast path dispatches on;
+        sharing it across the four protocols is the sweep's main
+        amortization (see :mod:`repro.trace.precompile`).
+        """
+        compiled = self._compiled.get(page_size)
+        if compiled is None:
+            from repro.trace.precompile import compile_trace
+
+            compiled = self._compiled[page_size] = compile_trace(self, page_size)
+        return compiled
+
+    def __getstate__(self):
+        # The compiled cache can dwarf the event list; rebuild it on the
+        # far side instead of shipping it to sweep worker processes.
+        state = dict(self.__dict__)
+        state["_compiled"] = {}
+        return state
 
     @property
     def events(self) -> List[Event]:

@@ -1,0 +1,182 @@
+"""Fast-path / parallel-sweep equivalence against the reference engine.
+
+The acceptance bar for the simulation-core overhaul: every
+:class:`~repro.simulator.results.SimulationResult` field produced by the
+precompiled fast path (and by a parallel sweep) must be bit-identical to
+the original event-by-event interpreter, which survives as
+:meth:`Engine.run_reference`.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.common.errors import SimulatorError
+from repro.config import SimConfig
+from repro.simulator.engine import Engine, simulate
+from repro.simulator.results import SimulationResult
+from repro.simulator.sweep import run_sweep
+from repro.trace.events import Event
+from repro.trace.precompile import (
+    OP_ACQUIRE,
+    OP_READ,
+    OP_READ_N,
+    OP_WRITE,
+    compile_trace,
+)
+from tests.conftest import build_trace, lock_chain_trace, small_trace
+
+PROTOCOLS = ("LI", "LU", "EI", "EU")
+
+
+def result_fields(result: SimulationResult) -> dict:
+    """Every accounting field of one result, for exact comparison."""
+    return {
+        "messages": result.messages,
+        "data_bytes": result.data_bytes,
+        "control_bytes": result.control_bytes,
+        "cold_misses": result.cold_misses,
+        "invalid_misses": result.invalid_misses,
+        "diffs_fetched": result.diffs_fetched,
+        "diff_bytes_fetched": result.diff_bytes_fetched,
+        "counters": result.counters,
+        "by_kind": result.stats.snapshot(),
+        "read_values": result.read_values,
+    }
+
+
+class TestFastPathEquivalence:
+    @pytest.mark.parametrize("protocol", PROTOCOLS)
+    @pytest.mark.parametrize("page_size", [512, 2048])
+    def test_water_bit_identical(self, water_trace, protocol, page_size):
+        config = SimConfig(
+            n_procs=water_trace.n_procs, page_size=page_size, record_values=True
+        )
+        fast = Engine(water_trace, config, protocol).run()
+        reference = Engine(water_trace, config, protocol).run_reference()
+        assert result_fields(fast) == result_fields(reference)
+
+    @pytest.mark.parametrize("protocol", PROTOCOLS)
+    def test_lock_chain_bit_identical(self, protocol):
+        trace = lock_chain_trace(n_procs=4, rounds=3)
+        config = SimConfig(n_procs=4, page_size=512, record_values=True)
+        fast = Engine(trace, config, protocol).run()
+        reference = Engine(trace, config, protocol).run_reference()
+        assert result_fields(fast) == result_fields(reference)
+
+    def test_page_straddling_accesses_bit_identical(self):
+        # Accesses crossing one and several page boundaries exercise the
+        # OP_READ_N/OP_WRITE_N multi-chunk instructions.
+        events = [
+            Event.acquire(0, 0),
+            Event.write(0, 500, 1050),
+            Event.release(0, 0),
+            Event.acquire(1, 0),
+            Event.read(1, 508, 8),
+            Event.write(1, 1020, 8),
+            Event.release(1, 0),
+            Event.acquire(0, 0),
+            Event.read(0, 500, 1050),
+            Event.release(0, 0),
+        ]
+        trace = build_trace(2, events)
+        config = SimConfig(n_procs=2, page_size=512, record_values=True)
+        for protocol in PROTOCOLS:
+            fast = Engine(trace, config, protocol).run()
+            reference = Engine(trace, config, protocol).run_reference()
+            assert result_fields(fast) == result_fields(reference), protocol
+
+
+class TestParallelSweepEquivalence:
+    def test_lock_chain_grid_identical(self):
+        trace = lock_chain_trace(n_procs=3, rounds=2)
+        serial = run_sweep(trace, page_sizes=[512, 1024])
+        parallel = run_sweep(trace, page_sizes=[512, 1024], jobs=2)
+        assert list(serial.grid) == list(parallel.grid)
+        for key in serial.grid:
+            assert result_fields(serial.grid[key]) == result_fields(
+                parallel.grid[key]
+            ), key
+
+    @pytest.mark.tier2
+    def test_water_full_grid_identical(self, water_trace):
+        serial = run_sweep(water_trace)
+        parallel = run_sweep(water_trace, jobs=4)
+        assert list(serial.grid) == list(parallel.grid)
+        for key in serial.grid:
+            assert result_fields(serial.grid[key]) == result_fields(
+                parallel.grid[key]
+            ), key
+
+    def test_jobs_one_is_serial(self):
+        trace = lock_chain_trace(n_procs=3, rounds=2)
+        sweep = run_sweep(trace, page_sizes=[512], jobs=1)
+        assert set(sweep.grid) == {(p, 512) for p in PROTOCOLS}
+
+
+class TestRunOnceGuard:
+    def test_second_run_raises(self):
+        trace = lock_chain_trace(n_procs=3, rounds=2)
+        engine = Engine(trace, SimConfig(n_procs=3, page_size=512), "LI")
+        engine.run()
+        with pytest.raises(SimulatorError, match="only be called once"):
+            engine.run()
+
+    def test_reference_path_shares_the_guard(self):
+        trace = lock_chain_trace(n_procs=3, rounds=2)
+        engine = Engine(trace, SimConfig(n_procs=3, page_size=512), "LI")
+        engine.run_reference()
+        with pytest.raises(SimulatorError):
+            engine.run()
+
+    def test_simulate_builds_a_fresh_engine_per_call(self):
+        trace = lock_chain_trace(n_procs=3, rounds=2)
+        a = simulate(trace, "LI", page_size=512)
+        b = simulate(trace, "LI", page_size=512)
+        assert a.messages == b.messages
+
+
+class TestPrecompile:
+    def test_single_page_accesses_use_flat_ops(self):
+        trace = build_trace(
+            2, [Event.acquire(0, 0), Event.read(0, 0x10, 8), Event.write(0, 0x10, 4)]
+        )
+        compiled = compile_trace(trace, 512)
+        assert [op[0] for op in compiled.ops] == [OP_ACQUIRE, OP_READ, OP_WRITE]
+        read_op = compiled.ops[1]
+        assert read_op[1:4] == (0, 0, (4, 5))
+        assert read_op[4] == 1  # event seq doubles as the write token space
+
+    def test_straddling_access_compiles_to_chunk_list(self):
+        trace = build_trace(1, [Event.read(0, 508, 8)])
+        compiled = compile_trace(trace, 512)
+        assert compiled.ops[0][0] == OP_READ_N
+        assert compiled.ops[0][2] == ((0, (127,)), (1, (0,)))
+
+    def test_stream_memoizes_until_mutation(self):
+        trace = lock_chain_trace(n_procs=2, rounds=1)
+        first = trace.compiled(512)
+        assert trace.compiled(512) is first
+        assert trace.compiled(1024) is not first
+        trace.append(Event.read(0, 0x100))
+        rebuilt = trace.compiled(512)
+        assert rebuilt is not first
+        assert len(rebuilt.ops) == len(first.ops) + 1
+
+    def test_engine_rejects_mismatched_compiled_page_size(self):
+        trace = lock_chain_trace(n_procs=2, rounds=1)
+        compiled = compile_trace(trace, 1024)
+        with pytest.raises(ValueError, match="specialized for 1024"):
+            Engine(trace, SimConfig(n_procs=2, page_size=512), "LI", compiled=compiled)
+
+    def test_identical_app_results_at_every_paper_size(self, app_trace):
+        # One spot value per app keeps this fast; the full-field checks
+        # above cover the deep comparison.
+        for page_size in (512, 8192):
+            config = SimConfig(n_procs=app_trace.n_procs, page_size=page_size)
+            fast = Engine(app_trace, config, "LI").run()
+            reference = Engine(app_trace, config, "LI").run_reference()
+            assert (fast.messages, fast.data_bytes) == (
+                reference.messages,
+                reference.data_bytes,
+            )

@@ -57,22 +57,30 @@ class TestRegistry:
 
 class TestSplitAccess:
     def test_within_one_page(self):
-        assert _split_access(0, 8, 512) == [(0, [0, 1])]
+        assert _split_access(0, 8, 512) == [(0, (0, 1))]
 
     def test_straddles_pages(self):
         chunks = _split_access(508, 8, 512)
-        assert chunks == [(0, [127]), (1, [0])]
+        assert chunks == [(0, (127,)), (1, (0,))]
 
     def test_spans_many_pages(self):
         chunks = _split_access(500, 1050, 512)
         # Bytes [500, 1550) touch pages 0..3.
         assert [page for page, _ in chunks] == [0, 1, 2, 3]
-        assert chunks[0][1] == [125, 126, 127]
+        assert chunks[0][1] == (125, 126, 127)
         assert len(chunks[1][1]) == 128
-        assert chunks[3][1] == list(range(0, 4))
+        assert chunks[3][1] == tuple(range(0, 4))
 
     def test_unaligned_word(self):
-        assert _split_access(6, 4, 512) == [(0, [1, 2])]
+        assert _split_access(6, 4, 512) == [(0, (1, 2))]
+
+    def test_repeated_pairs_share_cached_tuples(self):
+        # The (addr, size) split memo returns the same immutable chunk
+        # tuple for repeated accesses — the common case in real traces.
+        first = _split_access(0x40, 8, 512)
+        second = _split_access(0x40, 8, 512)
+        assert first == second
+        assert first[0][1] is second[0][1]
 
 
 class TestEngine:

@@ -134,3 +134,78 @@ class TestProperties:
     @given(clocks)
     def test_merge_idempotent(self, clock):
         assert clock.merged(clock) == clock
+
+
+class TestEdgeCases:
+    """Satellite coverage: equal clocks, monotonicity, symmetry, reuse."""
+
+    def test_missing_from_equal_clocks_is_empty(self):
+        a = VectorClock([3, 1, 4])
+        b = VectorClock([3, 1, 4])
+        assert a.missing_from(b) == []
+        assert b.missing_from(a) == []
+
+    def test_missing_from_self_is_empty(self):
+        a = VectorClock([0, 0, 0])
+        assert a.missing_from(a) == []
+
+    def test_missing_from_ranges_are_inclusive(self):
+        a = VectorClock([5, -1, 2])
+        b = VectorClock([1, -1, 2])
+        assert a.missing_from(b) == [(0, 2, 5)]
+        assert b.missing_from(a) == []
+
+    def test_advanced_monotonicity_error(self):
+        clock = VectorClock([2, 5])
+        with pytest.raises(ValueError, match="may not go backwards"):
+            clock.advanced(1, 4)
+
+    def test_advanced_same_index_is_allowed(self):
+        clock = VectorClock([2, 5])
+        assert clock.advanced(1, 5).entries() == (2, 5)
+
+    def test_advanced_does_not_mutate(self):
+        clock = VectorClock([0, 0])
+        advanced = clock.advanced(0, 7)
+        assert clock.entries() == (0, 0)
+        assert advanced.entries() == (7, 0)
+
+    @given(paired_clocks())
+    def test_concurrent_with_symmetry(self, pair):
+        a, b = pair
+        assert a.concurrent_with(b) == b.concurrent_with(a)
+
+    def test_concurrent_with_equal_clocks_is_false(self):
+        a = VectorClock([1, 2])
+        assert not a.concurrent_with(VectorClock([1, 2]))
+
+    def test_merged_reuses_dominating_side(self):
+        # The allocation-free fast path: when one clock already covers the
+        # other, merged() returns an existing instance, never a copy.
+        low = VectorClock([0, 1, 2])
+        high = VectorClock([3, 1, 2])
+        assert high.merged(low) is high
+        assert low.merged(high) is high
+        assert low.merged(low) is low
+
+    def test_merged_memo_returns_consistent_results(self):
+        a = VectorClock([3, -1, 0])
+        b = VectorClock([-1, 4, 0])
+        first = a.merged(b)
+        second = a.merged(b)
+        assert first.entries() == (3, 4, 0)
+        assert second is first  # memo hit
+
+    @given(paired_clocks())
+    def test_merged_matches_pointwise_max(self, pair):
+        a, b = pair
+        assert a.merged(b).entries() == tuple(
+            max(x, y) for x, y in zip(a.entries(), b.entries())
+        )
+
+    def test_incompatible_lengths_rejected_everywhere(self):
+        a = VectorClock([1, 2])
+        b = VectorClock([1, 2, 3])
+        for op in (a.dominates, a.merged, a.missing_from):
+            with pytest.raises(ValueError, match="incompatible"):
+                op(b)
