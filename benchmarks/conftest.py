@@ -10,19 +10,24 @@ timed region is the protocol simulation itself.
 
 from __future__ import annotations
 
+from pathlib import Path
+
 import pytest
 
 from repro.analysis.report import format_figure_table
-from repro.apps import APPS
 from repro.experiments.figures import FIGURES, expected_shapes, run_figure
+from repro.trace.cache import cached_app_trace
 
 #: Bench-scale processor count (the paper's).
 N_PROCS = 16
 SEED = 0
 
+#: Repo-local trace cache so repeated bench runs skip generation.
+TRACE_CACHE = Path(__file__).resolve().parent.parent / ".trace_cache"
+
 
 def make_trace(app: str):
-    return APPS[app](n_procs=N_PROCS, seed=SEED)
+    return cached_app_trace(app, cache_dir=TRACE_CACHE, n_procs=N_PROCS, seed=SEED)
 
 
 def run_and_check_figure(benchmark, app: str, trace):

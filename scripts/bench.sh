@@ -4,9 +4,16 @@
 #
 #   scripts/bench.sh            # core throughput + sweep benches
 #   scripts/bench.sh --full     # also the whole pytest-benchmark suite
+#   scripts/bench.sh --check    # regression gate: compare fresh numbers
+#                               # against the committed BENCH_core.json,
+#                               # exit non-zero on >20% throughput drop
 set -euo pipefail
 cd "$(dirname "$0")/.."
 export PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}"
+
+if [[ "${1:-}" == "--check" ]]; then
+    exec python scripts/bench_core.py --check
+fi
 
 python -m pytest benchmarks/bench_simulator_throughput.py \
     benchmarks/bench_sweep_parallel.py -q -s

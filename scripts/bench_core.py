@@ -1,5 +1,5 @@
 #!/usr/bin/env python
-"""Measure core simulator performance and write BENCH_core.json.
+"""Measure core simulator performance and write (or check) BENCH_core.json.
 
 Two measurements, both over the water trace used by
 ``benchmarks/bench_simulator_throughput.py`` (n_procs=8, 96 molecules,
@@ -11,10 +11,20 @@ Two measurements, both over the water trace used by
 The JSON lands at the repo root so successive PRs accumulate a
 performance trajectory — re-run ``scripts/bench.sh`` after simulator
 changes and compare against the committed baseline.
+
+``--check`` runs only the throughput measurement and compares it against
+the committed ``BENCH_core.json`` instead of rewriting it: any protocol
+more than 20% below the committed number is a regression and the script
+exits non-zero. ``scripts/bench.sh --check`` wires this into the bench
+entry point.
+
+The water trace itself is memoized on disk under ``.trace_cache/`` (see
+:mod:`repro.trace.cache`), so repeated bench runs skip generation.
 """
 
 from __future__ import annotations
 
+import argparse
 import json
 import os
 import platform
@@ -25,13 +35,19 @@ from pathlib import Path
 REPO_ROOT = Path(__file__).resolve().parent.parent
 sys.path.insert(0, str(REPO_ROOT / "src"))
 
-from repro.apps import APPS  # noqa: E402
 from repro.simulator.engine import simulate  # noqa: E402
 from repro.simulator.sweep import run_sweep  # noqa: E402
+from repro.trace.cache import cached_app_trace  # noqa: E402
 
 PROTOCOLS = ("LI", "LU", "EI", "EU")
 PAGE_SIZE = 2048
 ROUNDS = 5
+BENCH_PATH = REPO_ROOT / "BENCH_core.json"
+TRACE_CACHE = REPO_ROOT / ".trace_cache"
+#: A fresh number below committed * (1 - tolerance) fails --check.
+REGRESSION_TOLERANCE = 0.20
+
+WORKLOAD = dict(n_procs=8, seed=0, n_molecules=96, timesteps=2)
 
 
 def best_of(fn, rounds: int = ROUNDS) -> float:
@@ -43,15 +59,61 @@ def best_of(fn, rounds: int = ROUNDS) -> float:
     return best
 
 
-def main() -> int:
-    trace = APPS["water"](n_procs=8, seed=0, n_molecules=96, timesteps=2)
+def measure_throughput(trace) -> dict:
     n_events = len(trace)
-
     throughput = {}
     for protocol in PROTOCOLS:
         elapsed = best_of(lambda: simulate(trace, protocol, page_size=PAGE_SIZE))
         throughput[protocol] = round(n_events / elapsed)
         print(f"{protocol}: {throughput[protocol]:,} events/s")
+    return throughput
+
+
+def check(trace) -> int:
+    """Compare fresh throughput against the committed baseline."""
+    if not BENCH_PATH.exists():
+        print(f"check: no committed baseline at {BENCH_PATH}", file=sys.stderr)
+        return 2
+    committed = json.loads(BENCH_PATH.read_text())["throughput_events_per_s"]
+    fresh = measure_throughput(trace)
+    failures = []
+    for protocol, baseline in committed.items():
+        floor = baseline * (1.0 - REGRESSION_TOLERANCE)
+        now = fresh.get(protocol)
+        if now is None:
+            continue
+        ratio = now / baseline
+        status = "ok" if now >= floor else "REGRESSION"
+        print(f"check {protocol}: {now:,} vs committed {baseline:,} ({ratio:.2f}x) {status}")
+        if now < floor:
+            failures.append(protocol)
+    if failures:
+        print(
+            f"check: throughput regressed >{REGRESSION_TOLERANCE:.0%} on "
+            f"{', '.join(failures)}",
+            file=sys.stderr,
+        )
+        return 1
+    print("check: all protocols within tolerance")
+    return 0
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--check",
+        action="store_true",
+        help="compare fresh throughput against the committed BENCH_core.json "
+        "and exit non-zero on >20%% regression (does not rewrite the file)",
+    )
+    args = parser.parse_args(argv)
+
+    trace = cached_app_trace("water", cache_dir=TRACE_CACHE, **WORKLOAD)
+    if args.check:
+        return check(trace)
+
+    n_events = len(trace)
+    throughput = measure_throughput(trace)
 
     serial_s = best_of(lambda: run_sweep(trace), rounds=2)
     jobs4_s = best_of(lambda: run_sweep(trace, jobs=4), rounds=2)
@@ -65,9 +127,9 @@ def main() -> int:
         },
         "workload": {
             "app": "water",
-            "n_procs": 8,
-            "n_molecules": 96,
-            "timesteps": 2,
+            "n_procs": WORKLOAD["n_procs"],
+            "n_molecules": WORKLOAD["n_molecules"],
+            "timesteps": WORKLOAD["timesteps"],
             "events": n_events,
             "page_size": PAGE_SIZE,
         },
@@ -83,9 +145,8 @@ def main() -> int:
             ),
         },
     }
-    out = REPO_ROOT / "BENCH_core.json"
-    out.write_text(json.dumps(report, indent=2) + "\n")
-    print(f"wrote {out}")
+    BENCH_PATH.write_text(json.dumps(report, indent=2) + "\n")
+    print(f"wrote {BENCH_PATH}")
     return 0
 
 

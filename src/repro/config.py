@@ -57,6 +57,13 @@ class SimConfig:
         record_values: record the values returned by every read so the
             consistency checker can audit the run (memory-proportional to
             the number of reads; off for large sweeps).
+        use_coherence_index: serve the lazy protocols' happened-before
+            queries from the incremental coherence index (write-notice
+            index + memoized fetch plans, see :mod:`repro.hb.index`)
+            instead of rescanning the interval store per acquire and
+            miss. Results are bit-identical either way — the reference
+            scan survives behind ``False`` as the equivalence baseline,
+            mirroring ``Engine.run_reference``.
     """
 
     n_procs: int = PAPER_N_PROCS
@@ -68,6 +75,7 @@ class SimConfig:
     piggyback_notices: bool = True
     gc_at_barriers: bool = False
     record_values: bool = False
+    use_coherence_index: bool = True
 
     def __post_init__(self) -> None:
         if self.n_procs < 1:

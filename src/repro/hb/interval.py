@@ -20,7 +20,7 @@ IntervalId = Tuple[ProcId, int]
 class Interval:
     """One interval of one processor's execution."""
 
-    __slots__ = ("proc", "index", "vc", "diffs", "closed")
+    __slots__ = ("proc", "index", "vc", "diffs", "closed", "_modified")
 
     def __init__(self, proc: ProcId, index: int, vc: VectorClock):
         self.proc = proc
@@ -36,6 +36,7 @@ class Interval:
         #: Diffs produced in this interval, one per modified page.
         self.diffs: Dict[PageId, Diff] = {}
         self.closed = False
+        self._modified: Optional[Tuple[PageId, ...]] = None
 
     @property
     def id(self) -> IntervalId:
@@ -54,12 +55,16 @@ class Interval:
     def close(self) -> None:
         """Seal the interval; no more diffs may be added."""
         self.closed = True
+        self._modified = tuple(self.diffs)
 
     def diff_for(self, page: PageId) -> Optional[Diff]:
         return self.diffs.get(page)
 
     @property
     def modified_pages(self) -> Tuple[PageId, ...]:
+        modified = self._modified
+        if modified is not None:
+            return modified
         return tuple(self.diffs)
 
     def precedes(self, other: "Interval") -> bool:

@@ -6,14 +6,35 @@ TreadMarks). In the simulator a single store holds them all; protocol
 code only ever *reads* intervals it has legitimately learned about
 through write notices, and diff payloads are charged to the network when
 they are fetched from their creators.
+
+The store doubles as the lazy protocols' **write-notice index**,
+maintained incrementally at :meth:`add` time:
+
+* ``notice_runs`` — per creator, the cached tuple of
+  :class:`~repro.hb.write_notice.WriteNotice` objects of each interval,
+  so computing the notices for a vector-clock gap is pure list
+  concatenation (no interval traversal, no notice re-allocation).
+* ``page_mods`` — per page, every modifying interval as a *mod record*
+  ``(vc_sum, creator, index, vc_entries, diff)``. The leading cached
+  vc-sum makes the tuple sort directly into happened-before-compatible
+  (topological) order, and the cached entry tuple answers ``precedes``
+  with one integer compare — the basis of the fetch planner in
+  :mod:`repro.hb.index`.
 """
 
 from __future__ import annotations
 
-from typing import Dict, Iterator, List
+from typing import Dict, Iterator, List, Tuple
 
 from repro.common.types import PageId, ProcId
+from repro.common.vector_clock import VectorClock
 from repro.hb.interval import Interval, IntervalId
+from repro.hb.write_notice import WriteNotice
+
+#: One modifying interval of one page: (vc_sum, creator, index, vc entries, diff).
+#: Sorting mod records sorts by vc_sum first — a topological key for hb
+#: (an interval's timestamp pointwise dominates its hb-predecessors').
+ModRecord = Tuple[int, ProcId, int, Tuple[int, ...], "object"]
 
 
 class IntervalStore:
@@ -22,6 +43,10 @@ class IntervalStore:
     def __init__(self, n_procs: int):
         self.n_procs = n_procs
         self._by_proc: Dict[ProcId, List[Interval]] = {p: [] for p in range(n_procs)}
+        self._notices_by_proc: List[List[Tuple[WriteNotice, ...]]] = [
+            [] for _ in range(n_procs)
+        ]
+        self._page_mods: Dict[PageId, Dict[IntervalId, ModRecord]] = {}
 
     def add(self, interval: Interval) -> None:
         """Register a newly closed interval; indices must be dense per proc."""
@@ -31,14 +56,67 @@ class IntervalStore:
                 f"interval p{interval.proc}.i{interval.index} out of order; "
                 f"expected index {len(existing)}"
             )
-        self._by_proc[interval.proc].append(interval)
+        existing.append(interval)
+        proc, index = interval.proc, interval.index
+        diffs = interval.diffs
+        if not diffs:
+            self._notices_by_proc[proc].append(())
+            return
+        # tuple.__new__ skips WriteNotice's argument-binding frame; the
+        # notice layout is (creator, interval, page).
+        notice_new = tuple.__new__
+        self._notices_by_proc[proc].append(
+            tuple([notice_new(WriteNotice, (proc, index, page)) for page in diffs])
+        )
+        entries = interval.vc._entries
+        vc_sum = sum(entries)
+        page_mods = self._page_mods
+        key = (proc, index)
+        for page, diff in diffs.items():
+            mods = page_mods.get(page)
+            if mods is None:
+                page_mods[page] = mods = {}
+            mods[key] = (vc_sum, proc, index, entries, diff)
+
+    def add_empty(self, proc: ProcId, index: int, vc: VectorClock) -> None:
+        """Register a closed interval that modified nothing.
+
+        Empty intervals exist only to advance the vector clocks — no
+        notice ever names them and no diff is ever fetched from them —
+        so the indexed close path stores just the timestamp and the
+        :class:`Interval` object is materialized lazily if anything ever
+        asks for it (most intervals of a real trace are empty: every
+        special access closes one).
+        """
+        existing = self._by_proc[proc]
+        if index != len(existing):
+            raise ValueError(
+                f"interval p{proc}.i{index} out of order; "
+                f"expected index {len(existing)}"
+            )
+        existing.append(vc)
+        self._notices_by_proc[proc].append(())
+
+    def _materialize(self, proc: ProcId, index: int) -> Interval:
+        """The interval at ``(proc, index)``, building it if only its
+        timestamp was stored (see :meth:`add_empty`)."""
+        stored = self._by_proc[proc][index]
+        if stored.__class__ is VectorClock:
+            interval = Interval(proc, index, stored)
+            interval.close()
+            self._by_proc[proc][index] = interval
+            return interval
+        return stored
 
     def get(self, interval_id: IntervalId) -> Interval:
         proc, index = interval_id
         intervals = self._by_proc[proc]
         if not 0 <= index < len(intervals):
             raise KeyError(f"unknown interval p{proc}.i{index}")
-        return intervals[index]
+        interval = intervals[index]
+        if interval.__class__ is VectorClock:
+            return self._materialize(proc, index)
+        return interval
 
     def latest_index(self, proc: ProcId) -> int:
         """Index of ``proc``'s most recent closed interval, or -1."""
@@ -52,15 +130,59 @@ class IntervalStore:
                 f"interval range p{proc}.i{first}..i{last} outside "
                 f"[0, {len(intervals)})"
             )
-        return intervals[first : last + 1]
+        return [
+            self._materialize(proc, i) if intervals[i].__class__ is VectorClock
+            else intervals[i]
+            for i in range(first, last + 1)
+        ]
 
     def modifying_intervals(self, proc: ProcId, page: PageId, first: int, last: int) -> List[Interval]:
         """Intervals of ``proc`` in ``first..last`` that modified ``page``."""
         return [iv for iv in self.intervals_of(proc, first, last) if page in iv.diffs]
 
+    # -- write-notice index -------------------------------------------------
+
+    def gap_notices(
+        self, sender_vc: VectorClock, receiver_vc: VectorClock
+    ) -> List[WriteNotice]:
+        """Notices for every interval the sender knows and the receiver lacks.
+
+        Concatenates the cached per-interval notice tuples over the
+        vector-clock gap — the indexed equivalent of walking
+        :meth:`intervals_of` and re-building a notice per modified page.
+        """
+        notices: List[WriteNotice] = []
+        mine = sender_vc.entries()
+        theirs = receiver_vc.entries()
+        if mine == theirs:
+            return notices
+        extend = notices.extend
+        notices_by_proc = self._notices_by_proc
+        # Inlined VectorClock.missing_from — this runs per lock grant
+        # and per barrier arrival/exit.
+        for creator, last in enumerate(mine):
+            first = theirs[creator] + 1
+            if last < first:
+                continue
+            per_interval = notices_by_proc[creator]
+            if last >= len(per_interval):
+                raise KeyError(
+                    f"interval range p{creator}.i{first}..i{last} outside "
+                    f"[0, {len(per_interval)})"
+                )
+            for cached in per_interval[first : last + 1]:
+                if cached:
+                    extend(cached)
+        return notices
+
+    def page_mods(self, page: PageId) -> Dict[IntervalId, ModRecord]:
+        """The mod records of every interval that modified ``page``."""
+        return self._page_mods.get(page, {})
+
     def __iter__(self) -> Iterator[Interval]:
-        for intervals in self._by_proc.values():
-            yield from intervals
+        for proc, intervals in self._by_proc.items():
+            for index in range(len(intervals)):
+                yield self._materialize(proc, index)
 
     def __len__(self) -> int:
         return sum(len(v) for v in self._by_proc.values())

@@ -4,18 +4,22 @@ A write notice is the lazy protocols' unit of invalidation metadata: it
 names a modification without carrying it (§4.1). Notices travel
 piggybacked on lock-grant and barrier messages; the diffs they announce
 are pulled later (LI: at the next access miss; LU: immediately).
+
+Notices are created on every lock grant and barrier exit, so the class
+is a ``NamedTuple`` — construction is a plain tuple allocation, and the
+interval store caches each interval's notice tuple once so repeated
+grants reuse the same objects (see :class:`repro.hb.store.IntervalStore`).
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from typing import NamedTuple
 
 from repro.common.types import PageId, ProcId
 from repro.hb.interval import IntervalId
 
 
-@dataclass(frozen=True, order=True)
-class WriteNotice:
+class WriteNotice(NamedTuple):
     """An announcement that ``page`` was modified in interval ``(creator, interval)``."""
 
     creator: ProcId

@@ -11,7 +11,7 @@ applied").
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Tuple
+from typing import Dict, Iterable, Optional, Tuple
 
 from repro.common.types import PageId, ProcId
 from repro.network.costs import CostModel
@@ -27,7 +27,7 @@ class Diff:
         words: mapping word-index -> new value.
     """
 
-    __slots__ = ("page", "creator", "interval", "words")
+    __slots__ = ("page", "creator", "interval", "words", "_runs")
 
     def __init__(
         self,
@@ -35,28 +35,47 @@ class Diff:
         creator: ProcId,
         interval: int,
         words: Dict[int, int],
+        *,
+        copy: bool = True,
     ):
+        """``copy=False`` transfers ownership of ``words`` to the diff —
+        valid only when the caller never mutates the dict afterwards
+        (e.g. the interval close path, which rebinds the page entry's
+        ``dirty_words`` to a fresh dict right after)."""
         if not words:
             raise ValueError("a diff must contain at least one modified word")
         self.page = page
         self.creator = creator
         self.interval = interval
-        self.words = dict(words)
+        self.words = dict(words) if copy else words
+        self._runs: Optional[Tuple[Tuple[int, int], ...]] = None
 
     # -- wire size ---------------------------------------------------------
 
-    def runs(self) -> List[Tuple[int, int]]:
-        """Contiguous runs of modified words as (first_index, length)."""
+    def runs(self) -> Tuple[Tuple[int, int], ...]:
+        """Contiguous runs of modified words as (first_index, length).
+
+        Computed once and cached as a tuple: the word set is fixed at
+        construction, the wire-size accounting re-reads the runs on every
+        fetch that aggregates this diff, and — runs being a canonical
+        form of the word-index set — the tuple doubles as a hashable
+        signature (two diffs modify the same words iff their runs are
+        equal), which the fetch planner's pruning groups by.
+        """
+        runs = self._runs
+        if runs is not None:
+            return runs
         indices = sorted(self.words)
-        runs: List[Tuple[int, int]] = []
+        acc = []
         start = prev = indices[0]
         for idx in indices[1:]:
             if idx == prev + 1:
                 prev = idx
                 continue
-            runs.append((start, prev - start + 1))
+            acc.append((start, prev - start + 1))
             start = prev = idx
-        runs.append((start, prev - start + 1))
+        acc.append((start, prev - start + 1))
+        runs = self._runs = tuple(acc)
         return runs
 
     def wire_bytes(self, cost_model: CostModel) -> int:

@@ -10,7 +10,7 @@ copies around so a later miss only needs diffs, §4.3.3).
 from __future__ import annotations
 
 import enum
-from typing import Dict, Iterator, Optional, Set
+from typing import Dict, Iterator, List, Optional, Set
 
 from repro.common.types import PageId, ProcId
 from repro.memory.twin import Twin
@@ -86,6 +86,7 @@ class PageTable:
     def __init__(self, proc: ProcId):
         self.proc = proc
         self._entries: Dict[PageId, PageEntry] = {}
+        self._dirty: Dict[PageId, PageEntry] = {}
 
     def entry(self, page_id: PageId) -> PageEntry:
         """The entry for ``page_id``, created MISSING on first use."""
@@ -110,6 +111,24 @@ class PageTable:
     def dirty_pages(self) -> Set[PageId]:
         """Pages with un-flushed local modifications."""
         return {pid for pid, e in self._entries.items() if e.is_dirty}
+
+    def mark_dirty(self, page_id: PageId, entry: PageEntry) -> None:
+        """Register an entry in the dirty registry (first write of an interval)."""
+        self._dirty[page_id] = entry
+
+    def drain_dirty(self) -> List[PageEntry]:
+        """Entries registered dirty since the last drain, in first-write order.
+
+        Consumers must still check ``is_dirty``: a registered entry may
+        have been cleaned through a path that does not drain the
+        registry (eager flushes clean entries in place).
+        """
+        dirty = self._dirty
+        if not dirty:
+            return []
+        entries = list(dirty.values())
+        dirty.clear()
+        return entries
 
     def __iter__(self) -> Iterator[PageEntry]:
         return iter(self._entries.values())

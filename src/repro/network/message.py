@@ -59,6 +59,14 @@ class MessageKind(enum.Enum):
         return self in (MessageKind.RELEASE_ACK, MessageKind.BARRIER_ACK)
 
 
+# Dense per-kind index (``kind.slot``): lets hot accounting paths use
+# list indexing instead of enum-keyed dict lookups (Enum.__hash__ is a
+# Python-level call and shows up in profiles of Network.send).
+for _slot, _kind in enumerate(MessageKind):
+    _kind.slot = _slot
+del _slot, _kind
+
+
 #: The paper's four operation categories, in Table-1 column order.
 CATEGORIES = ("miss", "lock", "unlock", "barrier")
 

@@ -44,6 +44,15 @@ class Network:
         self._count_header = self.cost_model.count_header_in_data
         self._count_control = self.cost_model.count_control_in_data
         self._header_bytes = self.cost_model.header_bytes
+        # Per-kind (bucket, counted) dispatch for the fast path below,
+        # indexed by ``kind.slot`` (list indexing beats enum-keyed dicts).
+        self._fast_buckets = [
+            (
+                self.stats.by_kind[kind],
+                self._count_acks or kind not in _ACK_KINDS,
+            )
+            for kind in MessageKind
+        ]
 
     def channel(self, src: ProcId, dst: ProcId) -> Channel:
         """The (lazily created) channel from ``src`` to ``dst``."""
@@ -80,6 +89,27 @@ class Network:
         e.g. a lock reacquired by its holder costs nothing extra beyond
         the three-message find-and-transfer of remote acquires.
         """
+        if body is None and not self._handlers and not self.keep_log:
+            # Pure-accounting fast path (the protocol simulations: no
+            # handlers registered, no log kept) — same ledger updates as
+            # below without materializing Message/Channel objects.
+            if src == dst:
+                return None
+            n = self.n_procs
+            if not (0 <= src < n and 0 <= dst < n):
+                self._check_proc(src)
+                self._check_proc(dst)
+            bucket, counted = self._fast_buckets[kind.slot]
+            if counted:
+                bucket.messages += 1
+            data = payload_bytes
+            if self._count_control:
+                data += control_bytes
+            if self._count_header:
+                data += self._header_bytes
+            bucket.data_bytes += data
+            bucket.control_bytes += control_bytes
+            return None
         message = Message(
             kind=kind,
             src=src,

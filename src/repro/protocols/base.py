@@ -76,13 +76,28 @@ class Protocol(abc.ABC):
         get = entry.page.words.get
         return [get(w, 0) for w in words]
 
+    def read_touch(self, proc: ProcId, page: PageId) -> None:
+        """A read access whose observed values nobody consumes.
+
+        Identical protocol effects to :meth:`read` (miss servicing and
+        all accounting) without materializing the value list — the engine
+        uses this when ``record_values`` is off, i.e. for every
+        benchmark and sweep run. Protocols that hook reads must override
+        both entry points.
+        """
+        entry = self.procs[proc].pages.entry(page)
+        if entry.state is not PageState.VALID:
+            self._service_miss(proc, page, entry)
+
     def write(self, proc: ProcId, page: PageId, words: Sequence[int], token: int) -> None:
         """Perform a write access, tagging every written word with ``token``."""
-        entry = self.procs[proc].pages.entry(page)
+        table = self.procs[proc].pages
+        entry = table.entry(page)
         if entry.state is not PageState.VALID:
             self._service_miss(proc, page, entry)
         if not entry.dirty_words:
             entry.make_twin()
+            table.mark_dirty(page, entry)
         page_words = entry.page.words
         dirty_words = entry.dirty_words
         for word in words:

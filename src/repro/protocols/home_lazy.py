@@ -48,9 +48,9 @@ class HomeLazy(LazyProtocol):
 
     # -- home flushing -------------------------------------------------------
 
-    def _close_interval(self, proc: ProcId) -> Interval:
+    def _close_interval(self, proc: ProcId):
         interval = super()._close_interval(proc)
-        if interval.diffs:
+        if interval is not None and interval.diffs:
             self._flush_home(proc, interval)
         return interval
 
@@ -74,14 +74,7 @@ class HomeLazy(LazyProtocol):
             self.home_flushes += 1
         # Flushed diffs need not be retained (HLRC's memory advantage);
         # the interval objects keep them only for the simulator's oracle.
-        flushed = set(interval.modified_pages)
-        kept = []
-        for live_interval, page, wire in self._live_diffs:
-            if live_interval is interval and page in flushed:
-                self.retained_diff_bytes -= wire
-            else:
-                kept.append((live_interval, page, wire))
-        self._live_diffs = kept
+        self._drop_retained(interval, interval.modified_pages)
 
     # -- notices: invalidate, except at the page's home ------------------------
 

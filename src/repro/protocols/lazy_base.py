@@ -7,14 +7,29 @@ covering exactly the intervals the receiver's vector timestamp shows it
 lacks; releases exchange no messages at all. Diffs are pulled from their
 creators — LI at the next access miss, LU immediately on notice receipt —
 and applied in happened-before order.
+
+Two implementations of the happened-before bookkeeping coexist:
+
+* the **indexed** path (default, ``config.use_coherence_index``) answers
+  notice-gap, last-modifier, and aggregate-size queries from the
+  incremental coherence index — the store's write-notice index plus the
+  memoized :class:`~repro.hb.index.FetchPlanner`;
+* the **reference** path (``use_coherence_index=False``) keeps the
+  original per-fetch scans over ``intervals_of`` and pairwise
+  ``precedes``, structurally closest to the paper's description.
+
+Both produce bit-identical :class:`~repro.simulator.results
+.SimulationResult` fields — the equivalence suite asserts it, exactly as
+``Engine.run_reference`` anchors the precompiled trace fast path.
 """
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Set, Tuple
+from typing import Dict, Iterable, List, Optional, Set, Tuple
 
 from repro.common.types import BarrierId, LockId, PageId, ProcId
 from repro.common.vector_clock import VectorClock
+from repro.hb.index import FetchPlanner
 from repro.hb.interval import Interval, IntervalId
 from repro.hb.store import IntervalStore
 from repro.hb.write_notice import WriteNotice
@@ -58,7 +73,27 @@ class LazyProtocol(Protocol):
         self.peak_retained_diff_bytes = 0
         self.gc_collected_bytes = 0
         self.gc_runs = 0
+        #: Reference-path retention log, in interval-close order.
         self._live_diffs: List[Tuple[Interval, PageId, int]] = []
+        #: Indexed-path retention log, per page in interval-close order.
+        self._live_by_page: Dict[PageId, List[Tuple[Interval, int]]] = {}
+        self._indexed = config.use_coherence_index
+        self._planner: Optional[FetchPlanner] = (
+            FetchPlanner(self.store, self.costs, config.skip_overwritten_diffs)
+            if self._indexed
+            else None
+        )
+        if self._indexed:
+            # Shadow the dispatcher with the store's bound method: one
+            # less call layer on every lock grant and barrier message.
+            self._notices_for_gap = self.store.gap_notices
+        # True when a subclass installed a per-notice hook; when False
+        # the notice-receive loop skips the no-op calls entirely.
+        self._has_notice_hook = type(self)._on_notice is not LazyProtocol._on_notice
+        # Wire sizes that never change within a run, hoisted off the
+        # per-acquire/per-barrier paths.
+        self._vc_bytes = self.costs.vclock_bytes(config.n_procs)
+        self._notice_bytes_each = self.costs.write_notice_bytes
         # Distributions of Table 1's m (modifiers per miss) and h
         # (modifiers per eager pull): value -> occurrence count.
         self.miss_m_histogram: Dict[int, int] = {}
@@ -66,8 +101,65 @@ class LazyProtocol(Protocol):
 
     # -- interval management -----------------------------------------------
 
-    def _close_interval(self, proc: ProcId) -> Interval:
-        """Close ``proc``'s open interval, finalizing its diffs."""
+    def _close_interval(self, proc: ProcId) -> Optional[Interval]:
+        """Close ``proc``'s open interval, finalizing its diffs.
+
+        The indexed path (inlined below — one call per special access)
+        visits only the dirty registry's entries, logs retention per page
+        for the indexed GC, and returns ``None`` for an interval that
+        modified nothing (the common case — such intervals only advance
+        the vector clock and are stored as placeholders, see
+        :meth:`IntervalStore.add_empty`).
+        """
+        if not self._indexed:
+            return self._close_interval_reference(proc)
+        state = self.lazy_state[proc]
+        index = state.vc._entries[proc] + 1
+        vc = state.vc.advanced(proc, index)
+        # Inlined PageTable.drain_dirty (this runs per special access).
+        dirty_registry = self.procs[proc].pages._dirty
+        interval: Optional[Interval] = None
+        if dirty_registry:
+            costs = self.costs
+            live = self._live_by_page
+            retained = self.retained_diff_bytes
+            # Nothing below mutates the registry (writes re-populate it
+            # only after the close), so iterate it in place.
+            for entry in dirty_registry.values():
+                if not entry.dirty_words:
+                    continue
+                if interval is None:
+                    interval = Interval(proc, index, vc)
+                # clear_dirty rebinds dirty_words, so the diff can own
+                # the dict without copying.
+                diff = Diff(entry.page_id, proc, index, entry.dirty_words, copy=False)
+                interval.add_diff(diff)
+                entry.clear_dirty()
+                wire = diff.wire_bytes(costs)
+                retained += wire
+                page_live = live.get(diff.page)
+                if page_live is None:
+                    live[diff.page] = page_live = []
+                page_live.append((interval, wire))
+            dirty_registry.clear()
+            if interval is not None:
+                self.retained_diff_bytes = retained
+                if retained > self.peak_retained_diff_bytes:
+                    self.peak_retained_diff_bytes = retained
+        store = self.store
+        if interval is None:
+            # Inlined IntervalStore.add_empty: the close path alone grows
+            # the store, so the per-proc lists stay dense by construction.
+            store._by_proc[proc].append(vc)
+            store._notices_by_proc[proc].append(())
+        else:
+            interval.close()
+            store.add(interval)
+        state.vc = vc
+        self.intervals_closed += 1
+        return interval
+
+    def _close_interval_reference(self, proc: ProcId) -> Interval:
         state = self.lazy_state[proc]
         index = state.vc[proc] + 1
         vc = state.vc.advanced(proc, index)
@@ -89,12 +181,44 @@ class LazyProtocol(Protocol):
         self.intervals_closed += 1
         return interval
 
+    def _drop_retained(self, interval: Interval, pages: Iterable[PageId]) -> None:
+        """Forget retained diffs of ``interval`` for ``pages`` (HLRC flushes)."""
+        if self._indexed:
+            live = self._live_by_page
+            for page in pages:
+                page_live = live.get(page, ())
+                # The flushed diff was appended by this interval's close,
+                # so it sits at (or near) the end of the page's log.
+                for k in range(len(page_live) - 1, -1, -1):
+                    if page_live[k][0] is interval:
+                        self.retained_diff_bytes -= page_live[k][1]
+                        del page_live[k]
+                        break
+            return
+        dropped = set(pages)
+        kept = []
+        for live_interval, page, wire in self._live_diffs:
+            if live_interval is interval and page in dropped:
+                self.retained_diff_bytes -= wire
+            else:
+                kept.append((live_interval, page, wire))
+        self._live_diffs = kept
+
     # -- write-notice machinery ----------------------------------------------
 
     def _notices_for_gap(
         self, sender_vc: VectorClock, receiver_vc: VectorClock
     ) -> List[WriteNotice]:
-        """Notices for every interval the sender knows and the receiver lacks."""
+        """Notices for every interval the sender knows and the receiver lacks.
+
+        ``__init__`` rebinds this name to :meth:`IntervalStore.gap_notices`
+        on indexed instances — this body is the reference path.
+        """
+        return self._notices_for_gap_reference(sender_vc, receiver_vc)
+
+    def _notices_for_gap_reference(
+        self, sender_vc: VectorClock, receiver_vc: VectorClock
+    ) -> List[WriteNotice]:
         notices: List[WriteNotice] = []
         for creator, first, last in sender_vc.missing_from(receiver_vc):
             for interval in self.store.intervals_of(creator, first, last):
@@ -116,11 +240,28 @@ class LazyProtocol(Protocol):
         an acquire, barrier-category kinds at a barrier exit).
         """
         state = self.lazy_state[proc]
-        for notice in notices:
-            if notice.creator == proc:
-                continue
-            state.pending.setdefault(notice.page, set()).add(notice.interval_id)
-            self._on_notice(proc, notice)
+        pending = state.pending
+        pending_get = pending.get
+        if self._has_notice_hook:
+            on_notice = self._on_notice
+            for notice in notices:
+                if notice[0] == proc:  # creator
+                    continue
+                page = notice[2]
+                page_pending = pending_get(page)
+                if page_pending is None:
+                    pending[page] = page_pending = set()
+                page_pending.add(notice[:2])  # (creator, interval)
+                on_notice(proc, notice)
+        else:
+            for notice in notices:
+                if notice[0] == proc:  # creator
+                    continue
+                page = notice[2]
+                page_pending = pending_get(page)
+                if page_pending is None:
+                    pending[page] = page_pending = set()
+                page_pending.add(notice[:2])  # (creator, interval)
         state.vc = state.vc.merged(sender_vc)
         self._after_notices(proc, pull_kinds)
 
@@ -151,6 +292,71 @@ class LazyProtocol(Protocol):
         applied in happened-before order. Returns the number of distinct
         modifiers contacted.
         """
+        if self._indexed:
+            return self._collect_diffs_indexed(proc, pages, request_kind, reply_kind)
+        return self._collect_diffs_reference(proc, pages, request_kind, reply_kind)
+
+    def _collect_diffs_indexed(
+        self,
+        proc: ProcId,
+        pages: List[PageId],
+        request_kind: MessageKind,
+        reply_kind: MessageKind,
+    ) -> int:
+        """Indexed fetch: one memoized plan per page, merged across pages."""
+        pending = self.lazy_state[proc].pending
+        planner = self._planner
+        plans = []
+        for page in pages:
+            interval_ids = pending.pop(page, None)
+            if interval_ids:
+                plans.append(planner.plan(page, frozenset(interval_ids)))
+        if not plans:
+            return 0
+        send = self.network.send
+        if len(plans) == 1:
+            by_server = plans[0].by_server
+            for server, count, payload in by_server:
+                send(request_kind, proc, server)
+                send(reply_kind, server, proc, payload_bytes=payload)
+                self.diffs_fetched += count
+                self.diff_bytes_fetched += payload
+            m = len(by_server)
+        else:
+            merged: Dict[ProcId, List[int]] = {}
+            for plan in plans:
+                for server, count, payload in plan.by_server:
+                    totals = merged.get(server)
+                    if totals is None:
+                        merged[server] = [count, payload]
+                    else:
+                        totals[0] += count
+                        totals[1] += payload
+            for server in sorted(merged):
+                count, payload = merged[server]
+                send(request_kind, proc, server)
+                send(reply_kind, server, proc, payload_bytes=payload)
+                self.diffs_fetched += count
+                self.diff_bytes_fetched += payload
+            m = len(merged)
+        table = self.procs[proc].pages
+        for plan in plans:
+            entry = table.entry(plan.page)
+            words = entry.page.words
+            for diff in plan.apply:
+                words.update(diff.words)
+            # A concurrent local writer's uncommitted words survive merges.
+            if entry.dirty_words:
+                words.update(entry.dirty_words)
+        return m
+
+    def _collect_diffs_reference(
+        self,
+        proc: ProcId,
+        pages: List[PageId],
+        request_kind: MessageKind,
+        reply_kind: MessageKind,
+    ) -> int:
         state = self.lazy_state[proc]
         needed: List[Diff] = []
         for page in pages:
@@ -235,10 +441,11 @@ class LazyProtocol(Protocol):
     def _prune_overwritten(self, needed: List[Diff]) -> List[Diff]:
         """Drop diffs every word of which a later (hb) needed diff rewrites.
 
-        The pairwise scan is the lazy protocols' hottest loop (every miss
-        and every eager pull runs it), so interval lookups are hoisted out
-        of the O(n^2) inner loop and word sets are compared as dict key
-        views instead of freshly built sets.
+        The pairwise scan is the reference path's hottest loop (every
+        miss and every eager pull runs it), so interval lookups are
+        hoisted out of the O(n^2) inner loop and word sets are compared
+        as dict key views instead of freshly built sets. The indexed
+        path's planner does the same pruning once per pending set.
         """
         if len(needed) < 2:
             return needed
@@ -299,22 +506,15 @@ class LazyProtocol(Protocol):
 
     def _handle_miss(self, proc: ProcId, page: PageId, entry: PageEntry) -> None:
         """§4.3.3: a stale copy needs only diffs; a cold miss also fetches a base copy."""
-        need_page = entry.state == PageState.MISSING or not self.config.diff_to_invalid_copy
-        if need_page and entry.state == PageState.MISSING:
-            # The page's home serves the base copy (initially zero-filled).
-            self.network.send(MessageKind.PAGE_REQUEST, proc, self.page_manager(page))
+        if entry.state == PageState.MISSING or not self.config.diff_to_invalid_copy:
+            # The page's home serves the base copy (initially zero-filled);
+            # with the §4.3.3 optimization ablated, a full page is
+            # refetched even though a stale copy exists.
+            manager = self.page_manager(page)
+            self.network.send(MessageKind.PAGE_REQUEST, proc, manager)
             self.network.send(
                 MessageKind.PAGE_REPLY,
-                self.page_manager(page),
-                proc,
-                payload_bytes=self.costs.page_bytes(self.page_size),
-            )
-        elif need_page:
-            # Ablation mode: refetch a full page even though a copy exists.
-            self.network.send(MessageKind.PAGE_REQUEST, proc, self.page_manager(page))
-            self.network.send(
-                MessageKind.PAGE_REPLY,
-                self.page_manager(page),
+                manager,
                 proc,
                 payload_bytes=self.costs.page_bytes(self.page_size),
             )
@@ -332,7 +532,7 @@ class LazyProtocol(Protocol):
         if grantor == proc and self.config.free_local_lock_reacquire:
             return
         state = self.lazy_state[proc]
-        vc_bytes = self.costs.vclock_bytes(self.n_procs)
+        vc_bytes = self._vc_bytes
         manager = self.locks.manager_of(lock)
         # The request and forward hops carry the acquirer's timestamp so
         # the grantor can compute the missing notices (§4.2).
@@ -341,7 +541,7 @@ class LazyProtocol(Protocol):
         grantor_vc = self.lazy_state[grantor].vc
         notices = self._notices_for_gap(grantor_vc, state.vc)
         self.notices_sent += len(notices)
-        notice_bytes = self.costs.notices_bytes(len(notices))
+        notice_bytes = len(notices) * self._notice_bytes_each
         if self.config.piggyback_notices or not notices:
             self.network.send(
                 MessageKind.LOCK_GRANT,
@@ -379,8 +579,8 @@ class LazyProtocol(Protocol):
             merged = self._episode_clock(barrier)
             notices = self._notices_for_gap(state.vc, merged)
             self.notices_sent += len(notices)
-            vc_bytes = self.costs.vclock_bytes(self.n_procs)
-            notice_bytes = self.costs.notices_bytes(len(notices))
+            vc_bytes = self._vc_bytes
+            notice_bytes = len(notices) * self._notice_bytes_each
             if self.config.piggyback_notices or not notices:
                 self.network.send(
                     MessageKind.BARRIER_ARRIVAL,
@@ -408,13 +608,13 @@ class LazyProtocol(Protocol):
         master = self.barriers.master
         merged = self._episode_clock(barrier)
         self._episodes[barrier] = []
-        vc_bytes = self.costs.vclock_bytes(self.n_procs)
+        vc_bytes = self._vc_bytes
         for proc in range(self.n_procs):
             state = self.lazy_state[proc]
             notices = self._notices_for_gap(merged, state.vc)
             if proc != master:
                 self.notices_sent += len(notices)
-                notice_bytes = self.costs.notices_bytes(len(notices))
+                notice_bytes = len(notices) * self._notice_bytes_each
                 if self.config.piggyback_notices or not notices:
                     self.network.send(
                         MessageKind.BARRIER_EXIT,
@@ -454,6 +654,64 @@ class LazyProtocol(Protocol):
         protocol's memory behaviour — the simulator's value bookkeeping
         is unaffected.
         """
+        if self._indexed:
+            self._collect_garbage_indexed()
+        else:
+            self._collect_garbage_reference()
+
+    def _collect_garbage_indexed(self) -> None:
+        """Indexed GC over the per-page retention logs.
+
+        ``min_entries`` is the globally covered frontier: interval
+        ``(q, k)`` is known everywhere iff ``k <= min_entries[q]``. Pages
+        whose log holds fewer than two diffs, or no covered dominator,
+        are skipped without building survivor lists — the reference
+        path's full ``_live_diffs`` scan visits every retained diff of
+        every page on every run.
+        """
+        lazy_state = self.lazy_state
+        min_entries = [
+            min(state.vc[r] for state in lazy_state) for r in range(self.n_procs)
+        ]
+        pending_refs = {
+            (interval_id, page)
+            for state in lazy_state
+            for page, interval_ids in state.pending.items()
+            for interval_id in interval_ids
+        }
+        collected = 0
+        for page, page_live in self._live_by_page.items():
+            if len(page_live) < 2:
+                continue
+            # Chain-maximal globally-covered modifying interval, folded
+            # in close order (matching the reference scan's order).
+            dominator: Optional[Interval] = None
+            for interval, _wire in page_live:
+                if interval.index <= min_entries[interval.proc] and (
+                    dominator is None or dominator.precedes(interval)
+                ):
+                    dominator = interval
+            if dominator is None:
+                continue
+            survivors = []
+            for item in page_live:
+                interval, wire = item
+                if (
+                    interval is not dominator
+                    and interval.index <= min_entries[interval.proc]
+                    and interval.precedes(dominator)
+                    and (interval.id, page) not in pending_refs
+                ):
+                    collected += wire
+                else:
+                    survivors.append(item)
+            if len(survivors) != len(page_live):
+                self._live_by_page[page] = survivors
+        self.gc_collected_bytes += collected
+        self.retained_diff_bytes -= collected
+        self.gc_runs += 1
+
+    def _collect_garbage_reference(self) -> None:
         min_entries = [
             min(state.vc[r] for state in self.lazy_state) for r in range(self.n_procs)
         ]

@@ -72,6 +72,10 @@ class LazyHybrid(LazyProtocol):
         self._page_policy(proc, page).used_since_pull = True
         return super().read(proc, page, words)
 
+    def read_touch(self, proc: ProcId, page: PageId) -> None:
+        self._page_policy(proc, page).used_since_pull = True
+        super().read_touch(proc, page)
+
     def write(self, proc: ProcId, page: PageId, words: Sequence[int], token: int) -> None:
         self._page_policy(proc, page).used_since_pull = True
         super().write(proc, page, words, token)

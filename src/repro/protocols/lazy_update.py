@@ -12,8 +12,11 @@ from __future__ import annotations
 from typing import List, Tuple
 
 from repro.common.types import PageId, ProcId
+from repro.memory.page import PageState
 from repro.network.message import MessageKind
 from repro.protocols.lazy_base import LazyProtocol
+
+_MISSING = PageState.MISSING
 
 
 class LazyUpdate(LazyProtocol):
@@ -24,10 +27,17 @@ class LazyUpdate(LazyProtocol):
 
     def _after_notices(self, proc: ProcId, pull_kinds: Tuple[MessageKind, MessageKind]) -> None:
         state = self.lazy_state[proc]
-        pages = self.procs[proc].pages
-        cached: List[PageId] = [
-            page for page in state.pending if pages.has_copy(page)
-        ]
+        if not state.pending:
+            return
+        # Inlined PageTable.has_copy — this scans the pending map on
+        # every notice batch (each acquire and barrier exit).
+        entries = self.procs[proc].pages._entries
+        missing = _MISSING
+        cached: List[PageId] = []
+        for page in state.pending:
+            entry = entries.get(page)
+            if entry is not None and entry.state is not missing:
+                cached.append(page)
         if cached:
             h = self._collect_diffs(proc, cached, pull_kinds[0], pull_kinds[1])
             self.pull_h_histogram[h] = self.pull_h_histogram.get(h, 0) + 1

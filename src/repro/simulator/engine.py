@@ -92,6 +92,7 @@ class Engine:
         # Bind the protocol entry points once; the loop below runs for
         # every event of every sweep cell.
         read = protocol.read
+        read_touch = protocol.read_touch
         write = protocol.write
         acquire = protocol.acquire
         release = protocol.release
@@ -100,11 +101,12 @@ class Engine:
         for op in compiled.ops:
             code = op[0]
             if code == OP_WRITE:
-                write(op[1], op[2], op[3], token=op[4])
+                write(op[1], op[2], op[3], op[4])
             elif code == OP_READ:
-                values = read(op[1], op[2], op[3])
                 if record:
-                    read_values.append((op[4], values))
+                    read_values.append((op[4], read(op[1], op[2], op[3])))
+                else:
+                    read_touch(op[1], op[2])
             elif code == OP_ACQUIRE:
                 acquire(op[1], op[2])
             elif code == OP_RELEASE:
@@ -112,15 +114,18 @@ class Engine:
             elif code == OP_BARRIER:
                 barrier(op[1], op[2])
             elif code == OP_READ_N:
-                values = []
-                for page, words in op[2]:
-                    values.extend(read(op[1], page, words))
                 if record:
+                    values = []
+                    for page, words in op[2]:
+                        values.extend(read(op[1], page, words))
                     read_values.append((op[3], values))
+                else:
+                    for page, _ in op[2]:
+                        read_touch(op[1], page)
             else:  # OP_WRITE_N
                 proc, token = op[1], op[3]
                 for page, words in op[2]:
-                    write(proc, page, words, token=token)
+                    write(proc, page, words, token)
 
         protocol.finish()
         return self._result(read_values)

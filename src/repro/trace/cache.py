@@ -1,0 +1,73 @@
+"""On-disk caching of generated application traces.
+
+Synthetic app traces (:mod:`repro.apps`) are deterministic in their
+parameters, but generating the larger ones costs more than simulating
+them. This module persists each generated trace as a binary ``.trcb``
+file (see :mod:`repro.trace.codec`) keyed by the app name and its exact
+generation parameters, so benchmark and figure runs regenerate a trace
+only the first time a parameter combination is used.
+
+The cache directory resolves, in order:
+
+1. the ``cache_dir`` argument,
+2. the ``REPRO_TRACE_CACHE`` environment variable,
+3. ``~/.cache/repro-lrc/traces``.
+
+Corrupt or truncated cache files are regenerated transparently.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from pathlib import Path
+from typing import Optional, Union
+
+from repro.trace.codec import load_trace, save_trace
+from repro.trace.stream import TraceStream
+
+_ENV_VAR = "REPRO_TRACE_CACHE"
+_DEFAULT_DIR = Path.home() / ".cache" / "repro-lrc" / "traces"
+
+
+def cache_key(app: str, **params) -> str:
+    """Deterministic key for one (app, generation parameters) combination."""
+    blob = json.dumps({"app": app, "params": params}, sort_keys=True)
+    return hashlib.sha256(blob.encode("utf-8")).hexdigest()[:24]
+
+
+def cache_path(app: str, cache_dir: Optional[Union[str, Path]] = None, **params) -> Path:
+    """Where the cached ``.trcb`` for this combination lives (may not exist)."""
+    if cache_dir is None:
+        cache_dir = os.environ.get(_ENV_VAR) or _DEFAULT_DIR
+    return Path(cache_dir) / f"{app}-{cache_key(app, **params)}.trcb"
+
+
+def cached_app_trace(
+    app: str, cache_dir: Optional[Union[str, Path]] = None, **params
+) -> TraceStream:
+    """The app's trace for ``params``, loaded from disk when possible.
+
+    On a miss (or an unreadable cache file) the trace is generated via
+    :data:`repro.apps.APPS` and saved for the next caller.
+    """
+    path = cache_path(app, cache_dir=cache_dir, **params)
+    if path.exists():
+        try:
+            return load_trace(path)
+        except Exception:
+            # Truncated/corrupt file (e.g. an interrupted write or a
+            # format change): fall through and regenerate.
+            path.unlink(missing_ok=True)
+    from repro.apps import APPS  # deferred: apps imports trace modules
+
+    trace = APPS[app](**params)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    # Write to a temp name and rename so a concurrent or interrupted run
+    # never observes a half-written cache file. The temp name keeps the
+    # .trcb suffix (save_trace picks the codec by suffix).
+    tmp = path.parent / f".{path.stem}.{os.getpid()}.trcb"
+    save_trace(trace, tmp)
+    tmp.replace(path)
+    return trace

@@ -37,10 +37,10 @@ class TestDiffBasics:
 
 class TestRuns:
     def test_single_run(self):
-        assert Diff(0, 0, 0, {3: 1, 4: 1, 5: 1}).runs() == [(3, 3)]
+        assert Diff(0, 0, 0, {3: 1, 4: 1, 5: 1}).runs() == ((3, 3),)
 
     def test_split_runs(self):
-        assert Diff(0, 0, 0, {0: 1, 2: 1, 3: 1}).runs() == [(0, 1), (2, 2)]
+        assert Diff(0, 0, 0, {0: 1, 2: 1, 3: 1}).runs() == ((0, 1), (2, 2))
 
     def test_wire_bytes(self):
         model = CostModel(diff_run_header_bytes=8, word_bytes=4)
@@ -117,24 +117,24 @@ class TestRunsPatterns:
     """Satellite coverage: run-length encoding over canonical word patterns."""
 
     def test_single_word(self):
-        assert Diff(0, 0, 0, {7: 1}).runs() == [(7, 1)]
+        assert Diff(0, 0, 0, {7: 1}).runs() == ((7, 1),)
 
     def test_fully_contiguous(self):
         words = {i: i for i in range(4, 12)}
-        assert Diff(0, 0, 0, words).runs() == [(4, 8)]
+        assert Diff(0, 0, 0, words).runs() == ((4, 8),)
 
     def test_alternating_words_one_run_each(self):
         words = {i: 1 for i in range(0, 10, 2)}
-        assert Diff(0, 0, 0, words).runs() == [(i, 1) for i in range(0, 10, 2)]
+        assert Diff(0, 0, 0, words).runs() == tuple((i, 1) for i in range(0, 10, 2))
 
     def test_two_runs_with_gap(self):
         words = {0: 1, 1: 1, 5: 1, 6: 1, 7: 1}
-        assert Diff(0, 0, 0, words).runs() == [(0, 2), (5, 3)]
+        assert Diff(0, 0, 0, words).runs() == ((0, 2), (5, 3))
 
     def test_runs_independent_of_insertion_order(self):
         forward = Diff(0, 0, 0, {0: 1, 1: 1, 2: 1})
         backward = Diff(0, 0, 0, {2: 1, 1: 1, 0: 1})
-        assert forward.runs() == backward.runs() == [(0, 3)]
+        assert forward.runs() == backward.runs() == ((0, 3),)
 
     def test_wire_bytes_counts_runs_and_words(self):
         model = CostModel()

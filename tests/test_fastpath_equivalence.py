@@ -87,6 +87,116 @@ class TestFastPathEquivalence:
             assert result_fields(fast) == result_fields(reference), protocol
 
 
+#: Every protocol built on LazyProtocol (the coherence index lives there).
+LAZY_PROTOCOLS = ("LI", "LU", "LH", "HLRC")
+
+
+def run_indexed_and_reference(trace, protocol, **overrides):
+    """One simulation per coherence path, same trace/protocol/options."""
+    results = []
+    for indexed in (True, False):
+        config = SimConfig(
+            n_procs=trace.n_procs,
+            record_values=True,
+            use_coherence_index=indexed,
+            **overrides,
+        )
+        results.append(Engine(trace, config, protocol).run())
+    return results
+
+
+class TestCoherenceIndexEquivalence:
+    """Indexed lazy bookkeeping is bit-identical to the reference scans.
+
+    ``use_coherence_index=False`` keeps the original full-scan
+    implementations of notice gaps, diff-server assignment, overwrite
+    pruning, and garbage collection; these tests pin the indexed default
+    to it field-by-field.
+    """
+
+    @pytest.mark.parametrize("protocol", LAZY_PROTOCOLS)
+    def test_app_traces_bit_identical(self, app_trace, protocol):
+        indexed, reference = run_indexed_and_reference(
+            app_trace, protocol, page_size=1024
+        )
+        assert result_fields(indexed) == result_fields(reference)
+
+    @pytest.mark.parametrize("protocol", LAZY_PROTOCOLS)
+    def test_page_straddling_trace_bit_identical(self, protocol):
+        events = [
+            Event.acquire(0, 0),
+            Event.write(0, 500, 1050),
+            Event.release(0, 0),
+            Event.acquire(1, 0),
+            Event.read(1, 508, 8),
+            Event.write(1, 1020, 8),
+            Event.release(1, 0),
+            Event.at_barrier(0, 0),
+            Event.at_barrier(1, 0),
+            Event.acquire(0, 0),
+            Event.read(0, 500, 1050),
+            Event.release(0, 0),
+        ]
+        trace = build_trace(2, events)
+        indexed, reference = run_indexed_and_reference(trace, protocol, page_size=512)
+        assert result_fields(indexed) == result_fields(reference)
+
+    def test_full_sweep_grid_identical(self, water_trace):
+        base = dict(n_procs=water_trace.n_procs, record_values=True)
+        indexed = run_sweep(
+            water_trace, config=SimConfig(use_coherence_index=True, **base)
+        )
+        reference = run_sweep(
+            water_trace, config=SimConfig(use_coherence_index=False, **base)
+        )
+        assert list(indexed.grid) == list(reference.grid)
+        for key in indexed.grid:
+            assert result_fields(indexed.grid[key]) == result_fields(
+                reference.grid[key]
+            ), key
+
+    @pytest.mark.parametrize("protocol", LAZY_PROTOCOLS)
+    def test_gc_accounting_bit_identical(self, water_trace, protocol):
+        # gc_at_barriers exercises _collect_garbage (indexed: per-page
+        # dominator fold over _live_by_page; reference: _live_diffs scan)
+        # and the retained/collected byte counters it maintains.
+        indexed, reference = run_indexed_and_reference(
+            water_trace, protocol, page_size=1024, gc_at_barriers=True
+        )
+        assert result_fields(indexed) == result_fields(reference)
+        for counter in (
+            "retained_diff_bytes",
+            "peak_retained_diff_bytes",
+            "gc_collected_bytes",
+            "gc_runs",
+        ):
+            assert indexed.counters[counter] == reference.counters[counter], counter
+        assert indexed.counters["gc_runs"] > 0
+
+    @pytest.mark.parametrize("protocol", ("LI", "LU"))
+    def test_gc_collects_on_lock_chain(self, protocol):
+        # A barrier after a lock chain lets every proc's covered diffs go;
+        # both paths must agree on how many bytes that frees.
+        events = []
+        for rounds in range(3):
+            for proc in range(4):
+                events += [
+                    Event.acquire(proc, 0),
+                    Event.write(proc, 0x100 + 8 * proc, 8),
+                    Event.release(proc, 0),
+                ]
+            events += [Event.at_barrier(p, rounds) for p in range(4)]
+        trace = build_trace(4, events)
+        indexed, reference = run_indexed_and_reference(
+            trace, protocol, page_size=512, gc_at_barriers=True
+        )
+        assert result_fields(indexed) == result_fields(reference)
+        assert indexed.counters["gc_collected_bytes"] == (
+            reference.counters["gc_collected_bytes"]
+        )
+        assert indexed.counters["gc_collected_bytes"] > 0
+
+
 class TestParallelSweepEquivalence:
     def test_lock_chain_grid_identical(self):
         trace = lock_chain_trace(n_procs=3, rounds=2)

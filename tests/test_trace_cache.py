@@ -1,0 +1,52 @@
+"""On-disk app-trace cache (:mod:`repro.trace.cache`)."""
+
+from __future__ import annotations
+
+import repro.apps
+from repro.trace.cache import cache_path, cached_app_trace
+
+PARAMS = dict(n_procs=4, seed=1, n_molecules=8, timesteps=1, cutoff=0.4)
+
+
+def events_of(trace):
+    return [(e.type, e.proc, e.addr, e.size, e.lock, e.barrier) for e in trace]
+
+
+class TestCachedAppTrace:
+    def test_first_call_generates_and_writes(self, tmp_path):
+        trace = cached_app_trace("water", cache_dir=tmp_path, **PARAMS)
+        path = cache_path("water", cache_dir=tmp_path, **PARAMS)
+        assert path.exists()
+        assert trace.n_procs == 4
+        assert len(trace) > 0
+
+    def test_second_call_loads_from_disk(self, tmp_path, monkeypatch):
+        first = cached_app_trace("water", cache_dir=tmp_path, **PARAMS)
+
+        calls = []
+        original = repro.apps.APPS["water"]
+
+        def counting(**kwargs):
+            calls.append(kwargs)
+            return original(**kwargs)
+
+        monkeypatch.setitem(repro.apps.APPS, "water", counting)
+        second = cached_app_trace("water", cache_dir=tmp_path, **PARAMS)
+        assert calls == []  # served from disk, not regenerated
+        assert events_of(second) == events_of(first)
+        assert second.n_procs == first.n_procs
+
+    def test_distinct_params_get_distinct_files(self, tmp_path):
+        a = cache_path("water", cache_dir=tmp_path, **PARAMS)
+        b = cache_path("water", cache_dir=tmp_path, **{**PARAMS, "seed": 2})
+        assert a != b
+
+    def test_corrupt_file_is_regenerated(self, tmp_path):
+        first = cached_app_trace("water", cache_dir=tmp_path, **PARAMS)
+        path = cache_path("water", cache_dir=tmp_path, **PARAMS)
+        path.write_bytes(b"not a trace")
+        again = cached_app_trace("water", cache_dir=tmp_path, **PARAMS)
+        assert events_of(again) == events_of(first)
+        # And the cache file is healthy again.
+        reloaded = cached_app_trace("water", cache_dir=tmp_path, **PARAMS)
+        assert events_of(reloaded) == events_of(first)
