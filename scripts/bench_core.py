@@ -1,12 +1,18 @@
 #!/usr/bin/env python
 """Measure core simulator performance and write (or check) BENCH_core.json.
 
-Two measurements, both over the water trace used by
-``benchmarks/bench_simulator_throughput.py`` (n_procs=8, 96 molecules,
-2 timesteps, 2048-byte pages):
+Four measurements:
 
-* events/second for each of the four protocols (best of N runs), and
-* wall-clock for the full 4x5 sweep grid, serial vs ``jobs=4``.
+* protocol simulation events/second over the water trace used by
+  ``benchmarks/bench_simulator_throughput.py`` (n_procs=8, 96 molecules,
+  2 timesteps, 2048-byte pages), best of N runs per protocol,
+* wall-clock for the full 4x5 sweep grid over that trace, serial vs
+  ``jobs=4``,
+* trace *generation* events/second on the paper's default 16-processor
+  water workload (the scheduler fast loop), against the recorded
+  pre-columnar baseline, and
+* ``.trcb`` load time on a >=100k-event trace, columnar v2 format vs
+  the legacy per-event format.
 
 The JSON lands at the repo root so successive PRs accumulate a
 performance trajectory — re-run ``scripts/bench.sh`` after simulator
@@ -25,6 +31,7 @@ The water trace itself is memoized on disk under ``.trace_cache/`` (see
 from __future__ import annotations
 
 import argparse
+import io
 import json
 import os
 import platform
@@ -35,9 +42,11 @@ from pathlib import Path
 REPO_ROOT = Path(__file__).resolve().parent.parent
 sys.path.insert(0, str(REPO_ROOT / "src"))
 
+from repro.apps import water  # noqa: E402
 from repro.simulator.engine import simulate  # noqa: E402
 from repro.simulator.sweep import run_sweep  # noqa: E402
 from repro.trace.cache import cached_app_trace  # noqa: E402
+from repro.trace.codec import dump_binary, dump_binary_legacy, load_binary  # noqa: E402
 
 PROTOCOLS = ("LI", "LU", "EI", "EU")
 PAGE_SIZE = 2048
@@ -48,6 +57,14 @@ TRACE_CACHE = REPO_ROOT / ".trace_cache"
 REGRESSION_TOLERANCE = 0.20
 
 WORKLOAD = dict(n_procs=8, seed=0, n_molecules=96, timesteps=2)
+#: Paper-default water run timed by the generation bench.
+GENERATION_WORKLOAD = dict(n_procs=16, seed=0)
+#: Best-of-N generation throughput measured on this host immediately
+#: before the columnar trace pipeline landed (boxed Events, per-step
+#: runnable rebuild). The acceptance bar for the fast loop is 3x this.
+PRE_COLUMNAR_EVENTS_PER_S = 120_859
+#: >=100k-event workload for the .trcb load bench (water scale 3.0).
+LOAD_WORKLOAD = dict(n_procs=16, seed=0, scale=3.0)
 
 
 def best_of(fn, rounds: int = ROUNDS) -> float:
@@ -67,6 +84,58 @@ def measure_throughput(trace) -> dict:
         throughput[protocol] = round(n_events / elapsed)
         print(f"{protocol}: {throughput[protocol]:,} events/s")
     return throughput
+
+
+def measure_generation() -> dict:
+    """Trace-generation throughput of the scheduler fast loop."""
+    trace = water.generate(**GENERATION_WORKLOAD)
+    n_events = len(trace)
+    elapsed = best_of(lambda: water.generate(**GENERATION_WORKLOAD))
+    events_per_s = round(n_events / elapsed)
+    speedup = events_per_s / PRE_COLUMNAR_EVENTS_PER_S
+    print(
+        f"generation: {n_events:,} events at {events_per_s:,} events/s "
+        f"({speedup:.2f}x pre-columnar baseline)"
+    )
+    return {
+        "app": "water",
+        "n_procs": GENERATION_WORKLOAD["n_procs"],
+        "seed": GENERATION_WORKLOAD["seed"],
+        "events": n_events,
+        "events_per_s": events_per_s,
+        "pre_columnar_events_per_s": PRE_COLUMNAR_EVENTS_PER_S,
+        "speedup_vs_pre_columnar": round(speedup, 2),
+    }
+
+
+def measure_trcb_load() -> dict:
+    """Columnar vs legacy .trcb load time on a >=100k-event trace."""
+    trace = cached_app_trace("water", cache_dir=TRACE_CACHE, **LOAD_WORKLOAD)
+    n_events = len(trace)
+    v2_buf = io.BytesIO()
+    dump_binary(trace, v2_buf)
+    v2_bytes = v2_buf.getvalue()
+    legacy_buf = io.BytesIO()
+    dump_binary_legacy(trace, legacy_buf)
+    legacy_bytes = legacy_buf.getvalue()
+    columnar_s = best_of(lambda: load_binary(io.BytesIO(v2_bytes)))
+    legacy_s = best_of(lambda: load_binary(io.BytesIO(legacy_bytes)), rounds=2)
+    speedup = legacy_s / columnar_s
+    print(
+        f"trcb load ({n_events:,} events): columnar {columnar_s * 1000:.1f}ms "
+        f"vs legacy {legacy_s * 1000:.1f}ms ({speedup:.0f}x)"
+    )
+    return {
+        "app": "water",
+        "n_procs": LOAD_WORKLOAD["n_procs"],
+        "scale": LOAD_WORKLOAD["scale"],
+        "events": n_events,
+        "columnar_ms": round(columnar_s * 1000, 2),
+        "legacy_ms": round(legacy_s * 1000, 2),
+        "speedup_vs_legacy": round(speedup, 1),
+        "columnar_file_bytes": len(v2_bytes),
+        "legacy_file_bytes": len(legacy_bytes),
+    }
 
 
 def check(trace) -> int:
@@ -119,6 +188,9 @@ def main(argv=None) -> int:
     jobs4_s = best_of(lambda: run_sweep(trace, jobs=4), rounds=2)
     print(f"sweep serial={serial_s:.2f}s jobs=4={jobs4_s:.2f}s")
 
+    generation = measure_generation()
+    trcb_load = measure_trcb_load()
+
     report = {
         "generated": time.strftime("%Y-%m-%d"),
         "host": {
@@ -144,6 +216,8 @@ def main(argv=None) -> int:
                 "jobs=4 only adds pool overhead (results stay identical)"
             ),
         },
+        "generation": generation,
+        "trcb_load": trcb_load,
     }
     BENCH_PATH.write_text(json.dumps(report, indent=2) + "\n")
     print(f"wrote {BENCH_PATH}")

@@ -14,9 +14,9 @@ migratory, lock-controlled sharing like LocusRoute, with zero barriers.
 
 from __future__ import annotations
 
-from typing import Dict, List
+from typing import Dict, List, Optional
 
-from repro.apps.base import thread_rng
+from repro.apps.base import scaled, thread_rng
 from repro.common.types import ProcId
 from repro.runtime.dsm import Dsm
 from repro.runtime.program import Program
@@ -29,20 +29,28 @@ _COLUMN_LOCK_BASE = 1
 def generate(
     n_procs: int = 16,
     seed: int = 0,
-    n_columns: int = 128,
+    n_columns: Optional[int] = None,
     column_words: int = 64,
     fill_degree: int = 6,
     supernode_span: int = 2,
+    scale: float = 1.0,
 ) -> TraceStream:
     """Build a Cholesky trace.
 
     Args:
-        n_columns: columns of the sparse matrix.
+        n_columns: columns of the sparse matrix (default 128, multiplied
+            by ``scale``).
         column_words: words of numeric data per column.
         fill_degree: average number of later columns each supernode updates.
         supernode_span: columns fused per supernode task.
+        scale: workload-size multiplier applied to the default column
+            count; ignored when ``n_columns`` is given explicitly.
     """
+    if n_columns is None:
+        n_columns = scaled(128, scale)
     program = Program(n_procs, app="cholesky", seed=seed)
+    if scale != 1.0:
+        program.set_param("scale", scale)
     program.set_param("columns", n_columns)
     program.set_param("fill", fill_degree)
     matrix = program.alloc_words("columns", n_columns * column_words)

@@ -16,7 +16,9 @@ produces false sharing that grows with page size.
 
 from __future__ import annotations
 
-from repro.apps.base import thread_rng
+from typing import Optional
+
+from repro.apps.base import scaled, thread_rng
 from repro.common.types import ProcId
 from repro.runtime.dsm import Dsm
 from repro.runtime.program import Program
@@ -32,25 +34,33 @@ def generate(
     seed: int = 0,
     grid_width: int = 128,
     grid_height: int = 32,
-    n_wires: int = 128,
+    n_wires: Optional[int] = None,
     n_regions: int = 16,
     candidates: int = 3,
     iterations: int = 1,
+    scale: float = 1.0,
 ) -> TraceStream:
     """Build a LocusRoute trace.
 
     Args:
         grid_width, grid_height: cost-grid dimensions (one word per cell).
-        n_wires: wires to route (units of task-queue work).
+        n_wires: wires to route (units of task-queue work; default 128,
+            multiplied by ``scale``).
         n_regions: grid columns are hashed into this many region locks.
         candidates: candidate paths evaluated per wire.
         iterations: routing passes. Real LocusRoute rips up and re-routes
             wires over several iterations; passes after the first re-route
             every wire against the now-populated cost grid.
+        scale: workload-size multiplier applied to the default wire
+            count; ignored when ``n_wires`` is given explicitly.
     """
     if iterations < 1:
         raise ValueError(f"iterations must be >= 1, got {iterations}")
+    if n_wires is None:
+        n_wires = scaled(128, scale)
     program = Program(n_procs, app="locusroute", seed=seed)
+    if scale != 1.0:
+        program.set_param("scale", scale)
     program.set_param("grid", f"{grid_width}x{grid_height}")
     program.set_param("wires", n_wires)
     program.set_param("iterations", iterations)

@@ -17,7 +17,9 @@ separated by barriers.
 
 from __future__ import annotations
 
-from repro.apps.base import block_partition, thread_rng
+from typing import Optional
+
+from repro.apps.base import block_partition, scaled, thread_rng
 from repro.common.types import ProcId
 from repro.runtime.dsm import Dsm
 from repro.runtime.program import Program
@@ -34,20 +36,31 @@ PHASE_BARRIER = 1
 def generate(
     n_procs: int = 16,
     seed: int = 0,
-    n_particles: int = 512,
-    n_cells: int = 256,
+    n_particles: Optional[int] = None,
+    n_cells: Optional[int] = None,
     n_cell_locks: int = 16,
     timesteps: int = 5,
+    scale: float = 1.0,
 ) -> TraceStream:
     """Build an MP3D trace.
 
     Args:
-        n_particles: particles, block-partitioned over processors.
-        n_cells: space cells (``_CELL_WORDS`` words of state each).
+        n_particles: particles, block-partitioned over processors
+            (default 512, multiplied by ``scale``).
+        n_cells: space cells, ``_CELL_WORDS`` words of state each
+            (default 256, multiplied by ``scale``).
         n_cell_locks: cells are hashed into this many region locks.
         timesteps: simulated steps (two barriers each).
+        scale: workload-size multiplier applied to the default particle
+            and cell counts; explicit counts are not rescaled.
     """
+    if n_particles is None:
+        n_particles = scaled(512, scale)
+    if n_cells is None:
+        n_cells = scaled(256, scale)
     program = Program(n_procs, app="mp3d", seed=seed)
+    if scale != 1.0:
+        program.set_param("scale", scale)
     program.set_param("particles", n_particles)
     program.set_param("cells", n_cells)
     program.set_param("steps", timesteps)

@@ -24,9 +24,9 @@ and migrate between processors; the wire list is read-shared.
 
 from __future__ import annotations
 
-from typing import List
+from typing import List, Optional
 
-from repro.apps.base import block_partition, thread_rng
+from repro.apps.base import block_partition, scaled, thread_rng
 from repro.common.types import ProcId
 from repro.runtime.dsm import Dsm
 from repro.runtime.program import Program
@@ -42,20 +42,28 @@ DEADLOCK_BARRIER = 0
 def generate(
     n_procs: int = 16,
     seed: int = 0,
-    n_elements: int = 256,
+    n_elements: Optional[int] = None,
     fan_in: int = 3,
     windows: int = 4,
     activations_per_window: int = 6,
+    scale: float = 1.0,
 ) -> TraceStream:
     """Build a PTHOR trace.
 
     Args:
-        n_elements: logic elements, block-partitioned over processors.
+        n_elements: logic elements, block-partitioned over processors
+            (default 256, multiplied by ``scale``).
         fan_in: input wires per element (drawn across the whole circuit).
         windows: simulated time windows, fenced by deadlock barriers.
         activations_per_window: seed activations per processor per window.
+        scale: workload-size multiplier applied to the default element
+            count; ignored when ``n_elements`` is given explicitly.
     """
+    if n_elements is None:
+        n_elements = scaled(256, scale)
     program = Program(n_procs, app="pthor", seed=seed)
+    if scale != 1.0:
+        program.set_param("scale", scale)
     program.set_param("elements", n_elements)
     program.set_param("windows", windows)
     elements = program.alloc_words("elements", n_elements * _ELEMENT_WORDS)

@@ -16,7 +16,9 @@ barriers.
 
 from __future__ import annotations
 
-from repro.apps.base import block_partition, neighbors_within, thread_rng
+from typing import Optional
+
+from repro.apps.base import block_partition, neighbors_within, scaled, thread_rng
 from repro.common.types import ProcId
 from repro.runtime.dsm import Dsm
 from repro.runtime.program import Program
@@ -33,19 +35,27 @@ UPDATE_BARRIER = 1
 def generate(
     n_procs: int = 16,
     seed: int = 0,
-    n_molecules: int = 224,
+    n_molecules: Optional[int] = None,
     timesteps: int = 3,
     cutoff: float = 0.25,
     box: float = 1.0,
+    scale: float = 1.0,
 ) -> TraceStream:
     """Build a Water trace.
 
     Args:
-        n_molecules: molecules, block-partitioned over processors.
+        n_molecules: molecules, block-partitioned over processors
+            (default 224, multiplied by ``scale``).
         timesteps: simulated steps (two barriers each).
         cutoff: interaction radius (fraction of the unit box).
+        scale: workload-size multiplier applied to the default molecule
+            count; ignored when ``n_molecules`` is given explicitly.
     """
+    if n_molecules is None:
+        n_molecules = scaled(224, scale)
     program = Program(n_procs, app="water", seed=seed)
+    if scale != 1.0:
+        program.set_param("scale", scale)
     program.set_param("molecules", n_molecules)
     program.set_param("steps", timesteps)
     molecules = program.alloc_words("molecules", n_molecules * _MOL_WORDS)

@@ -34,6 +34,15 @@ def _add_workload_args(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--app", choices=sorted(APPS), default="locusroute")
     parser.add_argument("--n-procs", type=int, default=16)
     parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument(
+        "--scale", type=float, default=1.0,
+        help="workload-size multiplier on the app's default problem size",
+    )
+
+
+def _generate(args):
+    """Generate the workload selected by the common CLI arguments."""
+    return generate(args.app, n_procs=args.n_procs, seed=args.seed, scale=args.scale)
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -131,7 +140,7 @@ def _cmd_run(args) -> int:
     if args.trace_file:
         trace = load_trace(args.trace_file)
     else:
-        trace = generate(args.app, n_procs=args.n_procs, seed=args.seed)
+        trace = _generate(args)
     result = simulate(trace, args.protocol, page_size=args.page_size)
     print(result.summary_row())
     for category, count in result.category_messages().items():
@@ -141,7 +150,7 @@ def _cmd_run(args) -> int:
 
 
 def _cmd_sweep(args) -> int:
-    trace = generate(args.app, n_procs=args.n_procs, seed=args.seed)
+    trace = _generate(args)
     sweep = run_figure(args.app, page_sizes=args.page_sizes, trace=trace, jobs=args.jobs)
     spec = FIGURES[args.app]
     print(format_figure_table(sweep, f"Figure {spec.messages_figure}", "messages"))
@@ -177,20 +186,20 @@ def _cmd_table1(args) -> int:
 
 
 def _cmd_trace(args) -> int:
-    trace = generate(args.app, n_procs=args.n_procs, seed=args.seed)
+    trace = _generate(args)
     save_trace(trace, args.out)
     print(f"saved {trace!r} -> {args.out}")
     return 0
 
 
 def _cmd_stats(args) -> int:
-    trace = generate(args.app, n_procs=args.n_procs, seed=args.seed)
+    trace = _generate(args)
     print(analyze_sharing(trace, args.page_size).format())
     return 0
 
 
 def _cmd_check(args) -> int:
-    trace = generate(args.app, n_procs=args.n_procs, seed=args.seed)
+    trace = _generate(args)
     report = check_protocol(trace, args.protocol, page_size=args.page_size)
     print(
         f"{args.app} under {args.protocol} @ {args.page_size}B: "
@@ -200,7 +209,7 @@ def _cmd_check(args) -> int:
 
 
 def _cmd_compare(args) -> int:
-    trace = generate(args.app, n_procs=args.n_procs, seed=args.seed)
+    trace = _generate(args)
     model = (
         TimingModel.ethernet_1992() if args.era == "1992" else TimingModel.modern_cluster()
     )
@@ -226,7 +235,7 @@ def _cmd_export(args) -> int:
 def _cmd_locks(args) -> int:
     from repro.analysis.locks import analyze_locks
 
-    trace = generate(args.app, n_procs=args.n_procs, seed=args.seed)
+    trace = _generate(args)
     print(analyze_locks(trace).format())
     return 0
 
@@ -234,7 +243,7 @@ def _cmd_locks(args) -> int:
 def _cmd_mstats(args) -> int:
     from repro.analysis.protocol_stats import instrumented_run
 
-    trace = generate(args.app, n_procs=args.n_procs, seed=args.seed)
+    trace = _generate(args)
     print(instrumented_run(trace, args.protocol, page_size=args.page_size).format())
     return 0
 
@@ -242,7 +251,7 @@ def _cmd_mstats(args) -> int:
 def _cmd_chart(args) -> int:
     from repro.analysis.charts import render_sweep_chart
 
-    trace = generate(args.app, n_procs=args.n_procs, seed=args.seed)
+    trace = _generate(args)
     sweep = run_figure(args.app, page_sizes=args.page_sizes, trace=trace)
     print(render_sweep_chart(sweep, "messages"))
     print()
@@ -253,7 +262,7 @@ def _cmd_chart(args) -> int:
 def _cmd_timeline(args) -> int:
     from repro.analysis.timeline import message_timeline
 
-    trace = generate(args.app, n_procs=args.n_procs, seed=args.seed)
+    trace = _generate(args)
     print(f"{args.app}: message traffic over the execution ({len(trace)} events)")
     for protocol in args.protocols:
         timeline = message_timeline(trace, protocol, page_size=args.page_size)

@@ -39,8 +39,15 @@ class Region:
         return self.base + offset
 
     def word_addr(self, index: int) -> Addr:
-        """Address of the ``index``-th word of the region."""
-        return self.addr(index * WORD_SIZE)
+        """Address of the ``index``-th word of the region.
+
+        Called once per data access during trace generation, so the
+        bounds check is inlined rather than delegated to :meth:`addr`.
+        """
+        offset = index * WORD_SIZE
+        if 0 <= offset < self.size:
+            return self.base + offset
+        raise IndexError(f"offset {offset} outside region {self.name!r} of size {self.size}")
 
     @property
     def n_words(self) -> int:

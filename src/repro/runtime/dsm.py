@@ -18,16 +18,29 @@ from repro.runtime.ops import Op, OpKind
 
 
 class Dsm:
-    """Operation factory bound to one processor."""
+    """Operation factory bound to one processor.
+
+    Reads and sync operations are memoized: an :class:`Op` is a value
+    object, and workloads revisit the same addresses and locks
+    constantly, so each distinct request is constructed once and reused.
+    Writes carry their payload and are always fresh.
+    """
+
+    __slots__ = ("proc", "_read_ops", "_sync_ops")
 
     def __init__(self, proc: int):
         self.proc = proc
+        self._read_ops: dict = {}
+        self._sync_ops: dict = {}
 
     # -- data accesses -------------------------------------------------------
 
     def read(self, addr: Addr, size: int = WORD_SIZE) -> Op:
         """Read ``size`` bytes at ``addr``; yields to the word value(s)."""
-        return Op(OpKind.READ, addr=addr, size=size)
+        op = self._read_ops.get((addr, size))
+        if op is None:
+            op = self._read_ops[(addr, size)] = Op(OpKind.READ, addr=addr, size=size)
+        return op
 
     def write(self, addr: Addr, value: Union[int, Sequence[int]] = 0, size: int = WORD_SIZE) -> Op:
         """Write ``value`` (a word, or one word per covered word) at ``addr``."""
@@ -56,10 +69,19 @@ class Dsm:
     # -- synchronization ----------------------------------------------------
 
     def acquire(self, lock: LockId) -> Op:
-        return Op(OpKind.ACQUIRE, lock=lock)
+        op = self._sync_ops.get((OpKind.ACQUIRE, lock))
+        if op is None:
+            op = self._sync_ops[(OpKind.ACQUIRE, lock)] = Op(OpKind.ACQUIRE, lock=lock)
+        return op
 
     def release(self, lock: LockId) -> Op:
-        return Op(OpKind.RELEASE, lock=lock)
+        op = self._sync_ops.get((OpKind.RELEASE, lock))
+        if op is None:
+            op = self._sync_ops[(OpKind.RELEASE, lock)] = Op(OpKind.RELEASE, lock=lock)
+        return op
 
     def barrier(self, barrier: BarrierId) -> Op:
-        return Op(OpKind.BARRIER, barrier=barrier)
+        op = self._sync_ops.get((OpKind.BARRIER, barrier))
+        if op is None:
+            op = self._sync_ops[(OpKind.BARRIER, barrier)] = Op(OpKind.BARRIER, barrier=barrier)
+        return op

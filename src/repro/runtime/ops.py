@@ -3,7 +3,6 @@
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass
 from typing import Optional, Sequence
 
 from repro.common.types import Addr, BarrierId, LockId, WORD_SIZE
@@ -17,36 +16,50 @@ class OpKind(enum.Enum):
     BARRIER = "barrier"
 
 
-@dataclass(frozen=True)
 class Op:
     """One shared-memory operation requested by a thread.
 
     ``value`` (for writes) is the word value, or a sequence of word
     values when ``size`` spans several words.
+
+    Ops are value objects: treat them as immutable once constructed
+    (:class:`~repro.runtime.dsm.Dsm` reuses them across identical
+    requests). A plain ``__slots__`` class rather than a frozen
+    dataclass — threads construct one per data access, which makes
+    ``__init__`` part of the trace-generation hot path.
     """
 
-    kind: OpKind
-    addr: Optional[Addr] = None
-    size: int = WORD_SIZE
-    lock: Optional[LockId] = None
-    barrier: Optional[BarrierId] = None
-    value: object = None
+    __slots__ = ("kind", "addr", "size", "lock", "barrier", "value")
 
-    def __post_init__(self) -> None:
-        if self.kind in (OpKind.READ, OpKind.WRITE):
-            if self.addr is None or self.addr < 0:
-                raise ValueError(f"{self.kind.value} needs a non-negative address")
-            if self.size <= 0 or self.size % WORD_SIZE != 0:
+    def __init__(
+        self,
+        kind: OpKind,
+        addr: Optional[Addr] = None,
+        size: int = WORD_SIZE,
+        lock: Optional[LockId] = None,
+        barrier: Optional[BarrierId] = None,
+        value: object = None,
+    ):
+        if kind is OpKind.READ or kind is OpKind.WRITE:
+            if addr is None or addr < 0:
+                raise ValueError(f"{kind.value} needs a non-negative address")
+            if size <= 0 or size % WORD_SIZE != 0:
                 raise ValueError(
                     f"access size must be a positive multiple of {WORD_SIZE}, "
-                    f"got {self.size}"
+                    f"got {size}"
                 )
-        elif self.kind in (OpKind.ACQUIRE, OpKind.RELEASE):
-            if self.lock is None or self.lock < 0:
-                raise ValueError(f"{self.kind.value} needs a lock id")
+        elif kind is OpKind.ACQUIRE or kind is OpKind.RELEASE:
+            if lock is None or lock < 0:
+                raise ValueError(f"{kind.value} needs a lock id")
         else:
-            if self.barrier is None or self.barrier < 0:
+            if barrier is None or barrier < 0:
                 raise ValueError("barrier needs a barrier id")
+        self.kind = kind
+        self.addr = addr
+        self.size = size
+        self.lock = lock
+        self.barrier = barrier
+        self.value = value
 
     @property
     def n_words(self) -> int:
@@ -65,3 +78,20 @@ class Op:
             return values
         base = int(self.value) if self.value is not None else 0
         return [base] * self.n_words
+
+    def _key(self):
+        return (self.kind, self.addr, self.size, self.lock, self.barrier, self.value)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Op):
+            return NotImplemented
+        return self._key() == other._key()
+
+    def __hash__(self) -> int:
+        return hash(self._key())
+
+    def __repr__(self) -> str:
+        return (
+            f"Op(kind={self.kind!r}, addr={self.addr!r}, size={self.size!r}, "
+            f"lock={self.lock!r}, barrier={self.barrier!r}, value={self.value!r})"
+        )

@@ -5,11 +5,25 @@ runnable thread by one operation against a sequentially consistent word
 store. Lock waiters queue FIFO; barrier arrivals block until every live
 processor has arrived. The interleaving is chosen by a seeded PRNG (or
 strict round-robin), so traces are reproducible bit-for-bit.
+
+Two execution loops produce identical traces for a given seed:
+
+* :meth:`Scheduler.run` — the generation fast path. The runnable set is
+  maintained incrementally (blocking and finishing are rare next to data
+  accesses, so almost every step skips the O(n_procs) rebuild), the
+  PRNG draw and operation dispatch are inlined with hot callables bound
+  to locals, and data accesses append straight into the trace's typed
+  columns — no :class:`~repro.trace.events.Event` is constructed on the
+  hot path.
+* :meth:`Scheduler.run_reference` — the original step-at-a-time loop,
+  kept as the behavioural pin; the equivalence suite asserts both loops
+  emit byte-identical ``.trcb`` files for every app and seed.
 """
 
 from __future__ import annotations
 
 import random
+from bisect import insort
 from collections import deque
 from typing import Callable, Deque, Dict, Generator, List, Optional, Set
 
@@ -17,7 +31,6 @@ from repro.common.errors import ConfigError, RuntimeDeadlockError, TraceError
 from repro.common.types import BarrierId, LockId, ProcId, WORD_SIZE
 from repro.runtime.dsm import Dsm
 from repro.runtime.ops import Op, OpKind
-from repro.trace.events import Event, EventType
 from repro.trace.stream import TraceMeta, TraceStream
 
 #: A thread body: generator yielding Ops, optionally receiving read values.
@@ -61,6 +74,11 @@ class Scheduler:
         self._lock_waiters: Dict[LockId, Deque[ProcId]] = {}
         self._barrier_waiting: Dict[BarrierId, Set[ProcId]] = {}
         self._blocked: Dict[ProcId, Op] = {}
+        # Incrementally maintained runnable set: a proc-sorted list (the
+        # exact list the per-step rebuild used to produce, so the PRNG
+        # consumes identical draws) plus a set for O(1) membership.
+        self._runnable: List[ProcId] = []
+        self._runnable_set: Set[ProcId] = set()
         self._rr_next = 0
         self.steps = 0
 
@@ -74,13 +92,129 @@ class Scheduler:
 
     # -- execution -------------------------------------------------------------
 
-    def run(self) -> TraceStream:
-        """Run every thread to completion and return the recorded trace."""
+    def _init_run(self) -> List[ProcId]:
+        """Check spawn completeness and (re)build the runnable structures."""
         missing = [p for p in range(self.n_procs) if self._threads[p] is None]
         if missing:
             raise ConfigError(f"processors without threads: {missing}")
+        self._runnable = self._runnable_list()
+        self._runnable_set = set(self._runnable)
+        return self._runnable
+
+    def run(self) -> TraceStream:
+        """Run every thread to completion and return the recorded trace.
+
+        This is the generation fast path; it emits the same trace as
+        :meth:`run_reference` bit for bit (same seed, same draws) while
+        skipping the per-step runnable rebuild and Event construction.
+        """
+        runnable = self._init_run()
+        threads = self._threads
+        memory = self.memory
+        mem_get = memory.get
+        lock_holder = self._lock_holder
+        lock_waiters = self._lock_waiters
+        trace = self.trace
+        codes, procs, values, sizes = trace.columns()
+        c_app, p_app, v_app, s_app = (
+            codes.append, procs.append, values.append, sizes.append,
+        )
+        read_k, write_k = OpKind.READ, OpKind.WRITE
+        acquire_k, release_k = OpKind.ACQUIRE, OpKind.RELEASE
+        word = WORD_SIZE
+        random_schedule = self.schedule == "random"
+        # Random.choice(seq) is seq[rng._randbelow(len(seq))]; binding
+        # _randbelow skips a frame per step while consuming the exact
+        # same PRNG draws. Fall back to choice if the private helper
+        # ever disappears.
+        randbelow = getattr(self._rng, "_randbelow", None)
+        rng_choice = self._rng.choice
+        steps = 0
+        while runnable:
+            if random_schedule:
+                if randbelow is not None:
+                    proc = runnable[randbelow(len(runnable))]
+                else:
+                    proc = rng_choice(runnable)
+            else:
+                proc = self._pick(runnable)
+            thread = threads[proc]
+            steps += 1
+            try:
+                op = thread.gen.send(thread.pending_result)
+            except StopIteration:
+                thread.done = True
+                runnable.remove(proc)
+                self._runnable_set.discard(proc)
+                self._check_barrier_stranding()
+                continue
+            if op.__class__ is not Op and not isinstance(op, Op):
+                raise TraceError(f"thread p{proc} yielded {op!r}, expected an Op")
+            kind = op.kind
+            if kind is read_k:
+                addr = op.addr
+                size = op.size
+                if size == word:
+                    thread.pending_result = mem_get(addr, 0)
+                else:
+                    thread.pending_result = [
+                        mem_get(addr + i * word, 0) for i in range(size // word)
+                    ]
+                c_app(0); p_app(proc); v_app(addr); s_app(size)
+            elif kind is write_k:
+                thread.pending_result = None
+                addr = op.addr
+                size = op.size
+                value = op.value
+                if size == word and not isinstance(value, (list, tuple)):
+                    memory[addr] = 0 if value is None else int(value)
+                else:
+                    for i, v in enumerate(op.write_values()):
+                        memory[addr + i * word] = v
+                c_app(1); p_app(proc); v_app(addr); s_app(size)
+            elif kind is acquire_k:
+                thread.pending_result = None
+                lock = op.lock
+                if lock_holder.get(lock) is None and not lock_waiters.get(lock):
+                    # Uncontended acquire: grant inline (the common case).
+                    lock_holder[lock] = proc
+                    c_app(2); p_app(proc); v_app(lock); s_app(0)
+                else:
+                    self._acquire(proc, op)
+            elif kind is release_k:
+                thread.pending_result = None
+                lock = op.lock
+                if lock_holder.get(lock) != proc:
+                    raise TraceError(
+                        f"p{proc} releases lock {lock} held by "
+                        f"{lock_holder.get(lock)}"
+                    )
+                c_app(3); p_app(proc); v_app(lock); s_app(0)
+                lock_holder[lock] = None
+                waiters = lock_waiters.get(lock)
+                if waiters:
+                    next_proc = waiters.popleft()
+                    del self._blocked[next_proc]
+                    self._rerun(next_proc)
+                    lock_holder[lock] = next_proc
+                    c_app(2); p_app(next_proc); v_app(lock); s_app(0)
+            else:
+                thread.pending_result = None
+                self._barrier(proc, op)
+        self.steps += steps
+        if not all(t.done for t in threads if t):
+            self._raise_deadlock()
+        return trace
+
+    def run_reference(self) -> TraceStream:
+        """The original loop: rebuild the runnable list every step.
+
+        Kept as the fast loop's behavioural pin (the equivalence suite
+        runs apps through both and compares the ``.trcb`` bytes).
+        """
+        self._init_run()
         while True:
-            runnable = self._runnable()
+            runnable = self._runnable_list()
             if not runnable:
                 if all(t.done for t in self._threads if t):
                     break
@@ -89,7 +223,7 @@ class Scheduler:
             self._step(proc)
         return self.trace
 
-    def _runnable(self) -> List[ProcId]:
+    def _runnable_list(self) -> List[ProcId]:
         return [
             t.proc
             for t in self._threads
@@ -98,9 +232,12 @@ class Scheduler:
 
     def _pick(self, runnable: List[ProcId]) -> ProcId:
         if self.schedule == "round_robin":
+            # Membership via the incrementally maintained set: the list
+            # scan here used to make round-robin O(n_procs^2) per step.
+            runnable_set = self._runnable_set
             for offset in range(self.n_procs):
                 candidate = (self._rr_next + offset) % self.n_procs
-                if candidate in runnable:
+                if candidate in runnable_set:
                     self._rr_next = (candidate + 1) % self.n_procs
                     return candidate
         return self._rng.choice(runnable)
@@ -113,12 +250,27 @@ class Scheduler:
             op = thread.gen.send(thread.pending_result)
         except StopIteration:
             thread.done = True
+            self._unrun(proc)
             self._check_barrier_stranding()
             return
         thread.pending_result = None
         if not isinstance(op, Op):
             raise TraceError(f"thread p{proc} yielded {op!r}, expected an Op")
         self._execute(thread, op)
+
+    # -- runnable bookkeeping --------------------------------------------------
+
+    def _unrun(self, proc: ProcId) -> None:
+        """Drop a finished or blocked proc from the runnable structures."""
+        if proc in self._runnable_set:
+            self._runnable.remove(proc)
+            self._runnable_set.discard(proc)
+
+    def _rerun(self, proc: ProcId) -> None:
+        """Reinsert an unblocked proc, keeping the list proc-sorted."""
+        if proc not in self._runnable_set:
+            insort(self._runnable, proc)
+            self._runnable_set.add(proc)
 
     # -- operation semantics ---------------------------------------------------
 
@@ -129,11 +281,11 @@ class Scheduler:
                 self.memory.get(op.addr + i * WORD_SIZE, 0) for i in range(op.n_words)
             ]
             thread.pending_result = values if op.n_words > 1 else values[0]
-            self.trace.append(Event.read(proc, op.addr, op.size))
+            self.trace.append_raw(0, proc, op.addr, op.size)
         elif op.kind == OpKind.WRITE:
             for i, value in enumerate(op.write_values()):
                 self.memory[op.addr + i * WORD_SIZE] = value
-            self.trace.append(Event.write(proc, op.addr, op.size))
+            self.trace.append_raw(1, proc, op.addr, op.size)
         elif op.kind == OpKind.ACQUIRE:
             self._acquire(proc, op)
         elif op.kind == OpKind.RELEASE:
@@ -150,10 +302,11 @@ class Scheduler:
         else:
             self._lock_waiters.setdefault(lock, deque()).append(proc)
             self._blocked[proc] = op
+            self._unrun(proc)
 
     def _grant(self, proc: ProcId, lock: LockId) -> None:
         self._lock_holder[lock] = proc
-        self.trace.append(Event.acquire(proc, lock))
+        self.trace.append_raw(2, proc, lock, 0)
 
     def _release(self, proc: ProcId, op: Op) -> None:
         lock = op.lock
@@ -162,26 +315,29 @@ class Scheduler:
             raise TraceError(
                 f"p{proc} releases lock {lock} held by {self._lock_holder.get(lock)}"
             )
-        self.trace.append(Event.release(proc, lock))
+        self.trace.append_raw(3, proc, lock, 0)
         self._lock_holder[lock] = None
         waiters = self._lock_waiters.get(lock)
         if waiters:
             next_proc = waiters.popleft()
             del self._blocked[next_proc]
+            self._rerun(next_proc)
             self._grant(next_proc, lock)
 
     def _barrier(self, proc: ProcId, op: Op) -> None:
         barrier = op.barrier
         assert barrier is not None
-        self.trace.append(Event.at_barrier(proc, barrier))
+        self.trace.append_raw(4, proc, barrier, 0)
         waiting = self._barrier_waiting.setdefault(barrier, set())
         waiting.add(proc)
         if len(waiting) == self.n_procs:
             for waiter in waiting:
-                self._blocked.pop(waiter, None)
+                if self._blocked.pop(waiter, None) is not None:
+                    self._rerun(waiter)
             self._barrier_waiting[barrier] = set()
         else:
             self._blocked[proc] = op
+            self._unrun(proc)
 
     def _check_barrier_stranding(self) -> None:
         """A finished thread can never join a barrier others wait at."""

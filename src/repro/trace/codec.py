@@ -13,9 +13,17 @@ Text format (``.trc``)::
     L 3 7
     B 3 0
 
-Binary format (``.trcb``): a 16-byte magic/header, a UTF-8 JSON metadata
-block, then one fixed 24-byte little-endian record per event
-(type:u8, proc:u8, pad:u16, a:u32, b:u64, size:u32, pad:u32).
+Binary format (``.trcb``), version 2 — *columnar*: an 8-byte magic, a
+fixed header recording the column itemsizes and event count, a UTF-8
+JSON metadata block, then the four trace columns (type codes, procs,
+values, sizes) as contiguous little-endian blobs written and read with
+``array.tobytes()``/``frombytes()``. A million-event trace loads in
+milliseconds because no per-record Python work happens at all.
+
+The original per-record v1 format (magic ``LRCTRACE``, one 24-byte
+struct per event) is still read transparently, so pre-existing trace
+caches and externally produced files keep working; see
+``docs/TRACE_FORMAT.md`` for both layouts.
 """
 
 from __future__ import annotations
@@ -23,18 +31,23 @@ from __future__ import annotations
 import io
 import json
 import struct
+import sys
+from array import array
 from pathlib import Path
 from typing import IO, Union
 
 from repro.common.errors import TraceError
-from repro.trace.events import Event, EventType
+from repro.trace.events import CODE_TYPES, TYPE_CODES, Event, EventType
 from repro.trace.stream import TraceMeta, TraceStream
 
 _TEXT_MAGIC = "# lrc-trace v1"
-_BINARY_MAGIC = b"LRCTRACE"
+_BINARY_MAGIC = b"LRCTRACE"  # legacy v1: per-record structs
+_BINARY_MAGIC_V2 = b"LRCTRAC2"  # columnar
 _RECORD = struct.Struct("<BBHIQII")
-_TYPE_CODES = {t: i for i, t in enumerate(EventType)}
-_CODE_TYPES = {i: t for t, i in _TYPE_CODES.items()}
+#: v2 fixed header after the magic: column itemsizes (codes, procs,
+#: values, sizes), metadata length, event count.
+_V2_HEADER = struct.Struct("<BBBBIQ")
+_COLUMN_TYPECODES = ("b", "h", "q", "i")
 
 
 # -- text ------------------------------------------------------------------
@@ -115,9 +128,8 @@ def _parse_event(line: str, lineno: int) -> Event:
 # -- binary ------------------------------------------------------------------
 
 
-def dump_binary(trace: TraceStream, fp: IO[bytes]) -> None:
-    """Write a trace in the compact binary format."""
-    meta_json = json.dumps(
+def _meta_json(trace: TraceStream) -> bytes:
+    return json.dumps(
         {
             "n_procs": trace.meta.n_procs,
             "app": trace.meta.app,
@@ -125,6 +137,74 @@ def dump_binary(trace: TraceStream, fp: IO[bytes]) -> None:
             "regions": {k: list(v) for k, v in trace.meta.regions.items()},
         }
     ).encode("utf-8")
+
+
+def _parse_meta(raw: bytes) -> TraceMeta:
+    meta_raw = json.loads(raw.decode("utf-8"))
+    return TraceMeta(
+        n_procs=meta_raw["n_procs"],
+        app=meta_raw.get("app", "unknown"),
+        params=dict(meta_raw.get("params", {})),
+        regions={k: (v[0], v[1]) for k, v in meta_raw.get("regions", {}).items()},
+    )
+
+
+def _as_little_endian(column: array) -> array:
+    """The column with little-endian byte order (copies only on BE hosts)."""
+    if sys.byteorder == "big":
+        column = array(column.typecode, column)
+        column.byteswap()
+    return column
+
+
+def dump_binary(trace: TraceStream, fp: IO[bytes]) -> None:
+    """Write a trace in the columnar (v2) binary format."""
+    meta_json = _meta_json(trace)
+    columns = trace.columns()
+    itemsizes = [c.itemsize for c in columns]
+    fp.write(_BINARY_MAGIC_V2)
+    fp.write(_V2_HEADER.pack(*itemsizes, len(meta_json), len(trace)))
+    fp.write(meta_json)
+    for column in columns:
+        fp.write(_as_little_endian(column).tobytes())
+
+
+def load_binary(fp: IO[bytes]) -> TraceStream:
+    """Parse a binary trace (columnar v2 or the legacy per-record v1)."""
+    magic = fp.read(len(_BINARY_MAGIC_V2))
+    if magic == _BINARY_MAGIC:
+        return _load_binary_legacy(fp)
+    if magic != _BINARY_MAGIC_V2:
+        raise TraceError(f"not a binary trace (magic {magic!r})")
+    header = fp.read(_V2_HEADER.size)
+    if len(header) != _V2_HEADER.size:
+        raise TraceError("truncated binary trace (header)")
+    *itemsizes, meta_len, n_events = _V2_HEADER.unpack(header)
+    meta = _parse_meta(fp.read(meta_len))
+    columns = []
+    for typecode, itemsize in zip(_COLUMN_TYPECODES, itemsizes):
+        column = array(typecode)
+        if column.itemsize != itemsize:
+            raise TraceError(
+                f"column itemsize mismatch: file has {itemsize}, "
+                f"this platform's array({typecode!r}) is {column.itemsize}"
+            )
+        blob = fp.read(n_events * itemsize)
+        if len(blob) != n_events * itemsize:
+            raise TraceError("truncated binary trace")
+        column.frombytes(blob)
+        if sys.byteorder == "big":
+            column.byteswap()
+        columns.append(column)
+    return TraceStream.from_columns(meta, *columns)
+
+
+# -- legacy (v1) binary ------------------------------------------------------
+
+
+def dump_binary_legacy(trace: TraceStream, fp: IO[bytes]) -> None:
+    """Write the pre-columnar per-record format (fixtures and comparisons)."""
+    meta_json = _meta_json(trace)
     fp.write(_BINARY_MAGIC)
     fp.write(struct.pack("<II", len(meta_json), len(trace)))
     fp.write(meta_json)
@@ -139,22 +219,12 @@ def _pack_event(event: Event) -> bytes:
         a, b, size = event.barrier, 0, 0
     else:
         a, b, size = event.lock, 0, 0
-    return _RECORD.pack(_TYPE_CODES[event.type], event.proc, 0, a, b, size, 0)
+    return _RECORD.pack(TYPE_CODES[event.type], event.proc, 0, a, b, size, 0)
 
 
-def load_binary(fp: IO[bytes]) -> TraceStream:
-    """Parse a trace in the binary format."""
-    magic = fp.read(len(_BINARY_MAGIC))
-    if magic != _BINARY_MAGIC:
-        raise TraceError(f"not a binary trace (magic {magic!r})")
+def _load_binary_legacy(fp: IO[bytes]) -> TraceStream:
     meta_len, n_events = struct.unpack("<II", fp.read(8))
-    meta_raw = json.loads(fp.read(meta_len).decode("utf-8"))
-    meta = TraceMeta(
-        n_procs=meta_raw["n_procs"],
-        app=meta_raw.get("app", "unknown"),
-        params=dict(meta_raw.get("params", {})),
-        regions={k: (v[0], v[1]) for k, v in meta_raw.get("regions", {}).items()},
-    )
+    meta = _parse_meta(fp.read(meta_len))
     trace = TraceStream(meta)
     for _ in range(n_events):
         record = fp.read(_RECORD.size)
@@ -167,8 +237,8 @@ def load_binary(fp: IO[bytes]) -> TraceStream:
 def _unpack_event(record: bytes) -> Event:
     code, proc, _, a, b, size, _ = _RECORD.unpack(record)
     try:
-        type_ = _CODE_TYPES[code]
-    except KeyError as exc:
+        type_ = CODE_TYPES[code]
+    except IndexError as exc:
         raise TraceError(f"unknown event type code {code}") from exc
     if type_.is_ordinary:
         return Event(type_, proc, addr=b, size=size)

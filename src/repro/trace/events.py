@@ -35,6 +35,14 @@ class EventType(enum.Enum):
         return not self.is_ordinary
 
 
+#: Canonical wire/column encoding of event types (shared by the columnar
+#: :class:`~repro.trace.stream.TraceStream` and the binary codec):
+#: READ=0, WRITE=1, ACQUIRE=2, RELEASE=3, BARRIER=4. Ordinary accesses
+#: are exactly the codes <= 1, which hot loops exploit.
+TYPE_CODES = {t: i for i, t in enumerate(EventType)}
+CODE_TYPES = tuple(EventType)
+
+
 class Event:
     """One trace event.
 

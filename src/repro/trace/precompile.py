@@ -112,32 +112,49 @@ def compile_trace(trace, page_size: int) -> CompiledTrace:
     Splitting work is shared two ways: identical ``(addr, size)`` accesses
     reuse one chunk tuple (the per-compile cache below), and the whole
     compiled trace is reused across every protocol run at this page size.
+    Columnar streams compile straight off their typed arrays — no Event
+    objects are materialized; the event's column index is its ``seq``.
     """
     ops: List[tuple] = []
     append = ops.append
     cache: Dict[Tuple[int, int], Tuple[Chunk, ...]] = {}
-    read_t, write_t = EventType.READ, EventType.WRITE
-    acquire_t, release_t = EventType.ACQUIRE, EventType.RELEASE
-    for event in trace:
-        etype = event.type
-        if etype is read_t or etype is write_t:
-            chunks = split_access(event.addr, event.size, page_size, cache)
-            if etype is read_t:
+    get_columns = getattr(trace, "columns", None)
+    if get_columns is not None:
+        codes, procs, values, sizes = get_columns()
+        rows = zip(codes, procs, values, sizes)
+    else:  # duck-typed event sequences (external tracers)
+        rows = (
+            (
+                0 if e.type is EventType.READ else
+                1 if e.type is EventType.WRITE else
+                2 if e.type is EventType.ACQUIRE else
+                3 if e.type is EventType.RELEASE else 4,
+                e.proc,
+                e.addr if e.type.is_ordinary
+                else (e.barrier if e.type is EventType.BARRIER else e.lock),
+                e.size if e.type.is_ordinary else 0,
+            )
+            for e in trace
+        )
+    for seq, (code, proc, value, size) in enumerate(rows):
+        if code <= 1:
+            chunks = split_access(value, size, page_size, cache)
+            if code == 0:
                 if len(chunks) == 1:
                     page, words = chunks[0]
-                    append((OP_READ, event.proc, page, words, event.seq))
+                    append((OP_READ, proc, page, words, seq))
                 else:
-                    append((OP_READ_N, event.proc, chunks, event.seq))
+                    append((OP_READ_N, proc, chunks, seq))
             else:
                 if len(chunks) == 1:
                     page, words = chunks[0]
-                    append((OP_WRITE, event.proc, page, words, event.seq))
+                    append((OP_WRITE, proc, page, words, seq))
                 else:
-                    append((OP_WRITE_N, event.proc, chunks, event.seq))
-        elif etype is acquire_t:
-            append((OP_ACQUIRE, event.proc, event.lock))
-        elif etype is release_t:
-            append((OP_RELEASE, event.proc, event.lock))
+                    append((OP_WRITE_N, proc, chunks, seq))
+        elif code == 2:
+            append((OP_ACQUIRE, proc, value))
+        elif code == 3:
+            append((OP_RELEASE, proc, value))
         else:
-            append((OP_BARRIER, event.proc, event.barrier))
+            append((OP_BARRIER, proc, value))
     return CompiledTrace(page_size, trace.n_procs, len(trace), ops)

@@ -1,12 +1,34 @@
-"""In-memory traces: an event list plus run metadata."""
+"""In-memory traces: columnar event storage plus run metadata.
+
+A :class:`TraceStream` stores its events in four parallel typed arrays
+(type code, processor, addr/lock/barrier, size) instead of one boxed
+:class:`~repro.trace.events.Event` per access. At paper scale (millions
+of references) that is ~15 bytes per event instead of ~100, pickles to
+sweep workers cheaply, and lets the binary codec and the precompiler
+work on whole columns at C speed. :class:`Event` survives as a lazily
+materialized *view*: ``__getitem__``/``__iter__``/``events`` build Event
+objects on demand, so event-at-a-time callers (validation, stats, the
+reference engine, transforms, tests) keep working unchanged.
+"""
 
 from __future__ import annotations
 
+from array import array
 from dataclasses import dataclass, field
-from typing import Dict, Iterator, List, Optional, Sequence, Tuple
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple, Union
 
 from repro.common.types import Addr
-from repro.trace.events import Event, EventType
+from repro.trace.events import CODE_TYPES, TYPE_CODES, Event, EventType
+
+#: Sentinels for "field not set" in the typed columns. Ordinary events
+#: always carry addr/size and sync events an id, so these only appear
+#: for malformed events (which validation rejects by value anyway); the
+#: sentinels sit far outside any address/id a workload can produce so
+#: None round-trips exactly. The size column is 32-bit, hence its own.
+_NONE_VALUE = -(1 << 62)
+_NONE_SIZE = -(1 << 31)
+
+_CODE_BARRIER = TYPE_CODES[EventType.BARRIER]
 
 
 @dataclass
@@ -28,22 +50,90 @@ class TraceMeta:
 
 
 class TraceStream:
-    """A complete trace: globally ordered events plus metadata."""
+    """A complete trace: globally ordered events plus metadata.
+
+    Storage is columnar — four parallel arrays, one entry per event:
+
+    ==========  ==========  =================================================
+    column      array type  contents
+    ==========  ==========  =================================================
+    ``codes``   ``'b'``     event type code (see ``events.TYPE_CODES``)
+    ``procs``   ``'h'``     issuing processor
+    ``values``  ``'q'``     byte address (ordinary) or lock/barrier id (sync)
+    ``sizes``   ``'i'``     access size in bytes (ordinary; 0 for sync)
+    ==========  ==========  =================================================
+
+    An event's global sequence number (``seq``, the write-token space) is
+    its column index.
+    """
 
     def __init__(self, meta: TraceMeta, events: Optional[Sequence[Event]] = None):
         self.meta = meta
-        self._events: List[Event] = []
+        self._codes = array("b")
+        self._procs = array("h")
+        self._values = array("q")
+        self._sizes = array("i")
         self._compiled: Dict[int, object] = {}
         if events:
             for event in events:
                 self.append(event)
 
+    @classmethod
+    def from_columns(
+        cls,
+        meta: TraceMeta,
+        codes: array,
+        procs: array,
+        values: array,
+        sizes: array,
+    ) -> "TraceStream":
+        """Wrap already-built columns (bulk codec path); no copies made."""
+        n = len(codes)
+        if not (len(procs) == len(values) == len(sizes) == n):
+            raise ValueError("trace columns have mismatched lengths")
+        trace = cls(meta)
+        trace._codes = codes
+        trace._procs = procs
+        trace._values = values
+        trace._sizes = sizes
+        return trace
+
+    # -- mutation --------------------------------------------------------------
+
     def append(self, event: Event) -> None:
         """Append an event, assigning its global sequence number."""
-        event.seq = len(self._events)
-        self._events.append(event)
+        code = TYPE_CODES[event.type]
+        event.seq = len(self._codes)
+        if code <= 1:
+            addr, size = event.addr, event.size
+            self._values.append(_NONE_VALUE if addr is None else addr)
+            self._sizes.append(_NONE_SIZE if size is None else size)
+        else:
+            ident = event.barrier if code == _CODE_BARRIER else event.lock
+            self._values.append(_NONE_VALUE if ident is None else ident)
+            self._sizes.append(0)
+        self._codes.append(code)
+        self._procs.append(event.proc)
         if self._compiled:
             self._compiled = {}
+
+    def append_raw(self, code: int, proc: int, value: int, size: int) -> None:
+        """Append one event straight into the columns (no Event object).
+
+        ``value`` is the byte address for ordinary events (codes 0/1) and
+        the lock/barrier id for sync events; ``size`` is ignored-by-
+        convention 0 for sync events. The generation fast path binds the
+        column ``append`` methods directly instead, but this is the
+        supported one-call form for codecs and tools.
+        """
+        self._codes.append(code)
+        self._procs.append(proc)
+        self._values.append(value)
+        self._sizes.append(size)
+        if self._compiled:
+            self._compiled = {}
+
+    # -- compiled form ---------------------------------------------------------
 
     def compiled(self, page_size: int):
         """This trace lowered for ``page_size``, memoized until mutation.
@@ -60,44 +150,96 @@ class TraceStream:
         return compiled
 
     def __getstate__(self):
-        # The compiled cache can dwarf the event list; rebuild it on the
-        # far side instead of shipping it to sweep worker processes.
+        # The compiled cache can dwarf the columns; rebuild it on the far
+        # side instead of shipping it to sweep worker processes. The
+        # columns themselves pickle as raw bytes (~15 B/event).
         state = dict(self.__dict__)
         state["_compiled"] = {}
         return state
 
+    # -- event view ------------------------------------------------------------
+
+    def columns(self) -> Tuple[array, array, array, array]:
+        """The (codes, procs, values, sizes) arrays. Treat as read-only."""
+        return self._codes, self._procs, self._values, self._sizes
+
+    def _materialize(self, index: int) -> Event:
+        code = self._codes[index]
+        value = self._values[index]
+        if value == _NONE_VALUE:
+            value = None
+        if code <= 1:
+            size = self._sizes[index]
+            return Event(
+                CODE_TYPES[code],
+                self._procs[index],
+                addr=value,
+                size=None if size == _NONE_SIZE else size,
+                seq=index if index >= 0 else index + len(self._codes),
+            )
+        seq = index if index >= 0 else index + len(self._codes)
+        if code == _CODE_BARRIER:
+            return Event(CODE_TYPES[code], self._procs[index], barrier=value, seq=seq)
+        return Event(CODE_TYPES[code], self._procs[index], lock=value, seq=seq)
+
     @property
     def events(self) -> List[Event]:
-        return self._events
+        """All events, materialized into a fresh list (O(n) objects)."""
+        return [self._materialize(i) for i in range(len(self._codes))]
 
     @property
     def n_procs(self) -> int:
         return self.meta.n_procs
 
     def __len__(self) -> int:
-        return len(self._events)
+        return len(self._codes)
 
     def __iter__(self) -> Iterator[Event]:
-        return iter(self._events)
+        # Inline materialization with hot names bound locally: this is
+        # the loop under validation, stats, and the reference engine.
+        codes, procs, values, sizes = self._codes, self._procs, self._values, self._sizes
+        code_types, barrier_code = CODE_TYPES, _CODE_BARRIER
+        none_value, none_size = _NONE_VALUE, _NONE_SIZE
+        for index in range(len(codes)):
+            code = codes[index]
+            value = values[index]
+            if value == none_value:
+                value = None
+            if code <= 1:
+                size = sizes[index]
+                yield Event(
+                    code_types[code],
+                    procs[index],
+                    addr=value,
+                    size=None if size == none_size else size,
+                    seq=index,
+                )
+            elif code == barrier_code:
+                yield Event(code_types[code], procs[index], barrier=value, seq=index)
+            else:
+                yield Event(code_types[code], procs[index], lock=value, seq=index)
 
-    def __getitem__(self, index: int) -> Event:
-        return self._events[index]
+    def __getitem__(self, index: Union[int, slice]):
+        if isinstance(index, slice):
+            return [self._materialize(i) for i in range(*index.indices(len(self._codes)))]
+        if not -len(self._codes) <= index < len(self._codes):
+            raise IndexError(f"event index {index} out of range")
+        return self._materialize(index)
 
     # -- summaries -------------------------------------------------------------
 
     def counts_by_type(self) -> Dict[EventType, int]:
-        counts = {t: 0 for t in EventType}
-        for event in self._events:
-            counts[event.type] += 1
-        return counts
+        codes = self._codes
+        return {t: codes.count(TYPE_CODES[t]) for t in EventType}
 
     def max_addr(self) -> Addr:
         """Highest byte address touched (exclusive end), 0 if no data accesses."""
         top = 0
-        for event in self._events:
-            if event.type.is_ordinary:
-                assert event.addr is not None and event.size is not None
-                top = max(top, event.addr + event.size)
+        for code, value, size in zip(self._codes, self._values, self._sizes):
+            if code <= 1:
+                end = value + size
+                if end > top:
+                    top = end
         return top
 
     def __repr__(self) -> str:

@@ -1,0 +1,152 @@
+"""Binary codec coverage: the columnar v2 format and the legacy v1 reader."""
+
+from __future__ import annotations
+
+import io
+import struct
+
+import pytest
+
+from repro.common.errors import TraceError
+from repro.trace.codec import (
+    dump_binary,
+    dump_binary_legacy,
+    load_binary,
+    load_trace,
+    roundtrip_binary,
+    roundtrip_text,
+    save_trace,
+)
+from repro.trace.events import Event
+from repro.trace.stream import TraceMeta, TraceStream
+from tests.conftest import build_trace, small_trace
+
+
+def large_trace(n_events: int = 50_000) -> TraceStream:
+    """A synthetic trace mixing every event type, with extreme addresses."""
+    trace = TraceStream(
+        TraceMeta(
+            n_procs=16,
+            app="synthetic",
+            params={"n": str(n_events)},
+            regions={"blob": (0, 1 << 40)},
+        )
+    )
+    for i in range(n_events):
+        kind = i % 7
+        proc = i % 16
+        if kind < 3:
+            trace.append(Event.read(proc, (i * 4096 + 4 * i) % (1 << 40), 4 + 4 * (i % 8)))
+        elif kind < 5:
+            trace.append(Event.write(proc, 4 * i, 4))
+        elif kind == 5:
+            trace.append(Event.acquire(proc, i % 64) if i % 2 else Event.release(proc, i % 64))
+        else:
+            trace.append(Event.at_barrier(proc, i % 8))
+    return trace
+
+
+class TestColumnarFormat:
+    def test_large_binary_roundtrip_is_exact(self):
+        trace = large_trace()
+        loaded = roundtrip_binary(trace)
+        assert [list(c) for c in loaded.columns()] == [
+            list(c) for c in trace.columns()
+        ]
+        assert loaded.meta.params == trace.meta.params
+        assert loaded.meta.regions == trace.meta.regions
+
+    def test_binary_and_text_agree(self):
+        trace = large_trace(2_000)
+        assert list(roundtrip_binary(trace)) == list(roundtrip_text(trace))
+
+    def test_dump_is_deterministic(self):
+        trace = small_trace("cholesky")
+        a, b = io.BytesIO(), io.BytesIO()
+        dump_binary(trace, a)
+        dump_binary(trace, b)
+        assert a.getvalue() == b.getvalue()
+
+    def test_empty_trace_roundtrips(self):
+        trace = TraceStream(TraceMeta(n_procs=4, app="empty"))
+        loaded = roundtrip_binary(trace)
+        assert len(loaded) == 0
+        assert loaded.meta.n_procs == 4
+        assert loaded.meta.app == "empty"
+        assert list(roundtrip_text(trace)) == []
+
+    def test_zero_address_event(self):
+        trace = build_trace(1, [Event.write(0, 0x0, 4), Event.read(0, 0x0, 4)])
+        loaded = roundtrip_binary(trace)
+        assert loaded[0].addr == 0 and loaded[1].addr == 0
+        assert loaded.max_addr() == 4
+
+    def test_large_addresses_and_sizes(self):
+        trace = build_trace(1, [Event.read(0, (1 << 40) - 4, 1 << 20)])
+        loaded = roundtrip_binary(trace)
+        assert loaded[0].addr == (1 << 40) - 4
+        assert loaded[0].size == 1 << 20
+
+    def test_truncated_column_blob(self):
+        buf = io.BytesIO()
+        dump_binary(large_trace(100), buf)
+        clipped = io.BytesIO(buf.getvalue()[:-10])
+        with pytest.raises(TraceError, match="truncated"):
+            load_binary(clipped)
+
+    def test_truncated_header(self):
+        with pytest.raises(TraceError, match="truncated"):
+            load_binary(io.BytesIO(b"LRCTRAC2\x01\x02"))
+
+    def test_bad_magic(self):
+        with pytest.raises(TraceError, match="magic"):
+            load_binary(io.BytesIO(b"NOTATRCE" + b"\x00" * 32))
+
+    def test_itemsize_mismatch_detected(self):
+        buf = io.BytesIO()
+        dump_binary(build_trace(1, [Event.read(0, 0x10)]), buf)
+        raw = bytearray(buf.getvalue())
+        raw[8] = 13  # claim a 13-byte code column
+        with pytest.raises(TraceError, match="itemsize"):
+            load_binary(io.BytesIO(bytes(raw)))
+
+
+class TestLegacyFormat:
+    def test_legacy_fixture_loads(self, tmp_path):
+        # A pre-columnar cache file must keep loading through the same
+        # entry points (magic dispatch inside load_binary).
+        trace = small_trace("mp3d")
+        path = tmp_path / "legacy.trcb"
+        with open(path, "wb") as fp:
+            dump_binary_legacy(trace, fp)
+        loaded = load_trace(path)
+        assert list(loaded) == list(trace)
+        assert loaded.meta.params == trace.meta.params
+        assert loaded.meta.regions == trace.meta.regions
+
+    def test_legacy_and_columnar_agree(self):
+        trace = large_trace(1_000)
+        legacy_buf = io.BytesIO()
+        dump_binary_legacy(trace, legacy_buf)
+        legacy_buf.seek(0)
+        assert list(load_binary(legacy_buf)) == list(roundtrip_binary(trace))
+
+    def test_legacy_truncated_record(self):
+        trace = build_trace(1, [Event.read(0, 0x10), Event.write(0, 0x20)])
+        buf = io.BytesIO()
+        dump_binary_legacy(trace, buf)
+        clipped = io.BytesIO(buf.getvalue()[:-5])
+        with pytest.raises(TraceError, match="truncated"):
+            load_binary(clipped)
+
+    def test_legacy_unknown_type_code(self):
+        meta = b'{"n_procs": 1}'
+        record = struct.Struct("<BBHIQII").pack(9, 0, 0, 0, 0x10, 4, 0)
+        raw = b"LRCTRACE" + struct.pack("<II", len(meta), 1) + meta + record
+        with pytest.raises(TraceError, match="type code"):
+            load_binary(io.BytesIO(raw))
+
+    def test_saved_trcb_files_are_columnar(self, tmp_path):
+        path = tmp_path / "t.trcb"
+        save_trace(build_trace(1, [Event.read(0, 0x10)]), path)
+        assert path.read_bytes()[:8] == b"LRCTRAC2"

@@ -1,0 +1,59 @@
+"""Paper-scale end-to-end run: generate -> cache -> sweep (tier2).
+
+A >=250k-event 16-processor water workload flows through the whole
+columnar pipeline — scheduler fast loop, ``.trcb`` cache under
+``.trace_cache/`` (the directory CI restores via ``actions/cache``), and
+a protocol sweep — inside a ~1 GB RSS envelope. This is the scale the
+15 B/event columns exist for; the boxed-Event representation did not fit
+this budget.
+"""
+
+from __future__ import annotations
+
+import os
+import resource
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.simulator.sweep import run_sweep
+from repro.trace.cache import cache_path, cached_app_trace
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+CACHE_DIR = Path(os.environ.get("REPRO_TRACE_CACHE") or REPO_ROOT / ".trace_cache")
+
+#: water at 16 procs, scale 6.0 -> ~293k events.
+WORKLOAD = dict(n_procs=16, seed=0, scale=6.0)
+MIN_EVENTS = 250_000
+#: ru_maxrss ceiling: ~1 GB with a little slack for the interpreter.
+MAX_RSS_BYTES = 1_100 * 1024 * 1024
+
+
+def max_rss_bytes() -> int:
+    rss = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+    # Linux reports KiB, macOS bytes.
+    return rss * 1024 if sys.platform != "darwin" else rss
+
+
+@pytest.mark.tier2
+def test_quarter_million_events_end_to_end():
+    trace = cached_app_trace("water", cache_dir=CACHE_DIR, **WORKLOAD)
+    assert len(trace) >= MIN_EVENTS
+    assert cache_path("water", cache_dir=CACHE_DIR, **WORKLOAD).exists()
+
+    # A second call must come back from the cache file, not regenerate.
+    again = cached_app_trace("water", cache_dir=CACHE_DIR, **WORKLOAD)
+    assert [list(c) for c in again.columns()] == [list(c) for c in trace.columns()]
+
+    sweep = run_sweep(trace, protocols=["LI", "EI"], page_sizes=[1024, 4096])
+    assert set(sweep.grid) == {
+        (p, s) for p in ("LI", "EI") for s in (1024, 4096)
+    }
+    for result in sweep.grid.values():
+        assert result.messages > 0
+
+    assert max_rss_bytes() < MAX_RSS_BYTES, (
+        f"peak RSS {max_rss_bytes() / 2**20:.0f} MiB exceeds the "
+        f"{MAX_RSS_BYTES / 2**20:.0f} MiB budget"
+    )

@@ -1,0 +1,149 @@
+"""Columnar TraceStream storage: layout, Event view, and pickling."""
+
+from __future__ import annotations
+
+import pickle
+from array import array
+
+import pytest
+
+from repro.trace.events import Event, EventType, TYPE_CODES
+from repro.trace.stream import TraceMeta, TraceStream
+from tests.conftest import build_trace, lock_chain_trace, small_trace
+
+
+def mixed_trace() -> TraceStream:
+    return build_trace(
+        3,
+        [
+            Event.read(0, 0x100, 8),
+            Event.write(1, 0x0, 4),  # zero address is a real address
+            Event.acquire(2, 7),
+            Event.release(2, 7),
+            Event.at_barrier(0, 3),
+        ],
+    )
+
+
+class TestColumns:
+    def test_parallel_columns(self):
+        trace = mixed_trace()
+        codes, procs, values, sizes = trace.columns()
+        assert len(codes) == len(procs) == len(values) == len(sizes) == 5
+        assert list(codes) == [0, 1, 2, 3, 4]
+        assert list(procs) == [0, 1, 2, 2, 0]
+        assert list(values) == [0x100, 0x0, 7, 7, 3]
+        assert list(sizes) == [8, 4, 0, 0, 0]
+
+    def test_append_assigns_seq_from_column_index(self):
+        trace = mixed_trace()
+        assert [e.seq for e in trace] == list(range(5))
+
+    def test_append_raw_matches_append(self):
+        via_events = build_trace(2, [Event.write(1, 0x40, 8), Event.acquire(0, 2)])
+        via_raw = TraceStream(TraceMeta(n_procs=2, app="hand"))
+        via_raw.append_raw(TYPE_CODES[EventType.WRITE], 1, 0x40, 8)
+        via_raw.append_raw(TYPE_CODES[EventType.ACQUIRE], 0, 2, 0)
+        assert list(via_events) == list(via_raw)
+        assert [list(c) for c in via_events.columns()] == [
+            list(c) for c in via_raw.columns()
+        ]
+
+    def test_from_columns_wraps_without_copy(self):
+        codes = array("b", [0, 4])
+        procs = array("h", [1, 0])
+        values = array("q", [0x80, 2])
+        sizes = array("i", [4, 0])
+        trace = TraceStream.from_columns(
+            TraceMeta(n_procs=2), codes, procs, values, sizes
+        )
+        assert trace.columns() == (codes, procs, values, sizes)
+        assert trace[0] == Event.read(1, 0x80)
+        assert trace[1] == Event.at_barrier(0, 2)
+
+    def test_from_columns_rejects_mismatched_lengths(self):
+        with pytest.raises(ValueError, match="mismatched"):
+            TraceStream.from_columns(
+                TraceMeta(n_procs=1),
+                array("b", [0]),
+                array("h", []),
+                array("q", [0]),
+                array("i", [4]),
+            )
+
+
+class TestEventView:
+    def test_getitem_and_negative_index(self):
+        trace = mixed_trace()
+        assert trace[0] == Event.read(0, 0x100, 8)
+        assert trace[-1] == Event.at_barrier(0, 3)
+        assert trace[-1].seq == 4
+        with pytest.raises(IndexError):
+            trace[5]
+
+    def test_slice(self):
+        trace = mixed_trace()
+        tail = trace[2:4]
+        assert tail == [Event.acquire(2, 7), Event.release(2, 7)]
+        assert [e.seq for e in tail] == [2, 3]
+
+    def test_events_property_materializes_fresh_objects(self):
+        trace = mixed_trace()
+        assert trace.events == list(trace)
+        assert trace.events[0] is not trace.events[0]
+
+    def test_none_fields_survive_the_columns(self):
+        # Validation rejects these by value, but storage must not corrupt
+        # them: a None addr/size (and storable negatives like addr=-4)
+        # must come back exactly, not collide with a sentinel.
+        trace = TraceStream(TraceMeta(n_procs=1))
+        trace.append(Event(EventType.READ, 0, addr=None, size=None))
+        trace.append(Event(EventType.READ, 0, addr=-4, size=4))
+        trace.append(Event(EventType.ACQUIRE, 0, lock=None))
+        assert trace[0].addr is None and trace[0].size is None
+        assert trace[1].addr == -4 and trace[1].size == 4
+        assert trace[2].lock is None
+
+    def test_counts_and_repr(self):
+        trace = mixed_trace()
+        counts = trace.counts_by_type()
+        assert counts == {t: 1 for t in EventType}
+        assert "1R/1W/1A/1L/1B" in repr(trace)
+
+    def test_max_addr_ignores_sync_ids(self):
+        # The barrier id (3) and lock id (7) must not read as addresses.
+        assert mixed_trace().max_addr() == 0x108
+
+
+class TestPickling:
+    def test_pickle_size_is_columnar(self):
+        # ~15 bytes/event in the columns; the old boxed-Event pickle was
+        # an order of magnitude bigger. Allow generous fixed overhead for
+        # the metadata dict.
+        trace = TraceStream(TraceMeta(n_procs=16, app="synthetic"))
+        n_events = 10_000
+        for i in range(n_events):
+            trace.append_raw(i % 5, i % 16, 0x1000 + 4 * i, 4 if i % 5 <= 1 else 0)
+        payload = pickle.dumps(trace)
+        assert len(payload) < 24 * n_events + 4096
+
+    def test_pickle_roundtrip(self):
+        trace = small_trace("water")
+        clone = pickle.loads(pickle.dumps(trace))
+        assert list(clone) == list(trace)
+        assert clone.meta.n_procs == trace.meta.n_procs
+        assert clone.meta.regions == trace.meta.regions
+
+    def test_getstate_drops_compiled_cache(self):
+        trace = lock_chain_trace(n_procs=2, rounds=2)
+        trace.compiled(512)
+        assert trace.__getstate__()["_compiled"] == {}
+        clone = pickle.loads(pickle.dumps(trace))
+        # The clone rebuilds (and re-memoizes) on demand.
+        assert clone.compiled(512) is clone.compiled(512)
+
+    def test_append_invalidates_compiled_memo(self):
+        trace = lock_chain_trace(n_procs=2, rounds=1)
+        first = trace.compiled(512)
+        trace.append_raw(0, 0, 0x100, 4)
+        assert trace.compiled(512) is not first
