@@ -9,12 +9,19 @@ Subcommands::
     trace    generate and save an application trace
     stats    sharing analysis of a trace at a page size
     check    simulate and audit release consistency end-to-end
+    report   per-barrier-epoch and per-lock traffic decomposition
+
+Global flags: ``-v/--verbose`` (repeatable) and ``-q/--quiet`` control
+the ``repro`` logger via :func:`repro.obs.logconfig.logging_setup`.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
+import logging
 import sys
+import time
 from typing import List, Optional
 
 from repro.analysis.checker import check_protocol
@@ -23,11 +30,16 @@ from repro.analysis.sharing import analyze_sharing
 from repro.apps import APPS, generate
 from repro.experiments.figures import FIGURES, run_figure
 from repro.experiments.table1 import run_table1
+from repro.obs import JsonlSink, RecordingProbe, logging_setup
 from repro.protocols.registry import all_protocol_names, protocol_names
 from repro.simulator.timing import TimingModel, estimate_runtime
 from repro.simulator.config import PAPER_PAGE_SIZES
 from repro.simulator.engine import simulate
 from repro.trace.codec import load_trace, save_trace
+
+# Named explicitly (not __name__): ``python -m repro.cli`` runs this
+# module as __main__, which would escape the ``repro`` logger hierarchy.
+logger = logging.getLogger("repro.cli")
 
 
 def _add_workload_args(parser: argparse.ArgumentParser) -> None:
@@ -42,13 +54,25 @@ def _add_workload_args(parser: argparse.ArgumentParser) -> None:
 
 def _generate(args):
     """Generate the workload selected by the common CLI arguments."""
-    return generate(args.app, n_procs=args.n_procs, seed=args.seed, scale=args.scale)
+    t0 = time.perf_counter()
+    trace = generate(args.app, n_procs=args.n_procs, seed=args.seed, scale=args.scale)
+    logger.info(
+        "generated %s: %d events in %.3fs", args.app, len(trace), time.perf_counter() - t0
+    )
+    return trace
 
 
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="lrc-sim",
         description="Lazy release consistency protocol simulator (ISCA 1992 reproduction)",
+    )
+    parser.add_argument(
+        "-v", "--verbose", action="count", default=0,
+        help="log progress to stderr (-v info, -vv debug)",
+    )
+    parser.add_argument(
+        "-q", "--quiet", action="store_true", help="errors only on stderr"
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
@@ -57,6 +81,14 @@ def build_parser() -> argparse.ArgumentParser:
     run_p.add_argument("--protocol", choices=protocol_names(), default="LI")
     run_p.add_argument("--page-size", type=int, default=4096)
     run_p.add_argument("--trace-file", help="replay a saved trace instead of generating")
+    run_p.add_argument(
+        "--metrics", action="store_true",
+        help="collect telemetry and print the epoch/lock decomposition",
+    )
+    run_p.add_argument(
+        "--trace-out", metavar="PATH",
+        help="write the structured protocol event stream as JSON lines",
+    )
 
     sweep_p = sub.add_parser("sweep", help="one app across protocols and page sizes")
     _add_workload_args(sweep_p)
@@ -133,6 +165,18 @@ def build_parser() -> argparse.ArgumentParser:
         "--protocols", nargs="+", choices=all_protocol_names(), default=["LI", "EU"]
     )
 
+    report_p = sub.add_parser(
+        "report", help="per-barrier-epoch and per-lock traffic decomposition"
+    )
+    _add_workload_args(report_p)
+    report_p.add_argument("--protocol", choices=all_protocol_names(), default="LI")
+    report_p.add_argument("--page-size", type=int, default=4096)
+    report_p.add_argument("--trace-file", help="replay a saved trace instead of generating")
+    report_p.add_argument(
+        "--json", metavar="PATH",
+        help="also write {result, metrics, manifest} as JSON (for CI artifacts)",
+    )
+
     return parser
 
 
@@ -141,11 +185,24 @@ def _cmd_run(args) -> int:
         trace = load_trace(args.trace_file)
     else:
         trace = _generate(args)
-    result = simulate(trace, args.protocol, page_size=args.page_size)
+    probe = None
+    if args.metrics or args.trace_out:
+        sinks = [JsonlSink(args.trace_out)] if args.trace_out else []
+        probe = RecordingProbe(sinks=sinks)
+    result = simulate(trace, args.protocol, page_size=args.page_size, probe=probe)
+    if probe is not None:
+        probe.close()
     print(result.summary_row())
     for category, count in result.category_messages().items():
         data = result.category_data_bytes()[category] / 1024
         print(f"  {category:<8} messages={count:<10} data={data:.1f}kB")
+    if args.metrics:
+        from repro.analysis.epoch_report import format_epoch_table
+
+        print()
+        print(format_epoch_table(result.metrics))
+    if args.trace_out:
+        print(f"event trace -> {args.trace_out}")
     return 0
 
 
@@ -270,6 +327,23 @@ def _cmd_timeline(args) -> int:
     return 0
 
 
+def _cmd_report(args) -> int:
+    from repro.analysis.epoch_report import format_report, run_with_metrics
+
+    if args.trace_file:
+        trace = load_trace(args.trace_file)
+    else:
+        trace = _generate(args)
+    result = run_with_metrics(trace, args.protocol, page_size=args.page_size)
+    print(format_report(result))
+    if args.json:
+        with open(args.json, "w", encoding="utf-8") as fh:
+            json.dump(result.to_dict(), fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        print(f"report json -> {args.json}")
+    return 0
+
+
 _COMMANDS = {
     "run": _cmd_run,
     "sweep": _cmd_sweep,
@@ -284,11 +358,13 @@ _COMMANDS = {
     "mstats": _cmd_mstats,
     "chart": _cmd_chart,
     "timeline": _cmd_timeline,
+    "report": _cmd_report,
 }
 
 
 def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
+    logging_setup(-1 if args.quiet else args.verbose)
     return _COMMANDS[args.command](args)
 
 

@@ -17,13 +17,17 @@ from __future__ import annotations
 
 import csv
 import json
+import logging
 from pathlib import Path
 from typing import Dict, List, Optional, Sequence, Union
 
 from repro.apps import APPS
 from repro.experiments.figures import FIGURES, run_figure
 from repro.experiments.table1 import run_table1
+from repro.obs.manifest import git_sha
 from repro.simulator.sweep import SweepResult
+
+logger = logging.getLogger(__name__)
 
 
 def export_sweep_csv(sweep: SweepResult, metric: str, path: Union[str, Path]) -> None:
@@ -69,10 +73,12 @@ def export_all(
     apps = list(apps) if apps else sorted(FIGURES)
     manifest: Dict[str, object] = {
         "paper": "Keleher, Cox & Zwaenepoel, ISCA 1992",
+        "git_sha": git_sha(),
         "n_procs": n_procs,
         "seed": seed,
         "files": [],
         "figures": {},
+        "traces": {},
     }
     files: List[str] = manifest["files"]  # type: ignore[assignment]
 
@@ -83,6 +89,7 @@ def export_all(
     all_series: Dict[str, object] = {}
     for app in apps:
         trace = APPS[app](n_procs=n_procs, seed=seed)
+        logger.info("exporting %s (%d events)", app, len(trace))
         sweep = run_figure(app, trace=trace)
         spec = FIGURES[app]
         messages_name = f"fig{spec.messages_figure}_{app}_messages.csv"
@@ -95,10 +102,18 @@ def export_all(
             "messages": sweep.messages_table(),
             "data_kbytes": sweep.data_table(),
             "events": len(trace),
+            "seed": seed,
+            "trace_digest": trace.digest(),
         }
         manifest["figures"][app] = {  # type: ignore[index]
             "messages_figure": spec.messages_figure,
             "data_figure": spec.data_figure,
+        }
+        manifest["traces"][app] = {  # type: ignore[index]
+            "events": len(trace),
+            "seed": seed,
+            "digest": trace.digest(),
+            "params": dict(trace.meta.params),
         }
 
     with open(out / "figures.json", "w", encoding="utf-8") as fp:

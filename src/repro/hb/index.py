@@ -139,8 +139,13 @@ class FetchPlanner:
         """Drop records whose every word a later (hb) record rewrites.
 
         ``recs`` is in topological order, so only records at higher
-        positions can hb-follow a given one. Two phases keep the subset
-        checks off the hot path:
+        positions can hb-follow a given one. Candidates are scanned in
+        *descending* topo order so each record's fate is final before it
+        can serve as a witness, and witnesses are restricted to records
+        that themselves survive: hb-order and word containment are both
+        transitive, so a containment through an overwritten record is
+        also witnessed by whatever (live) record overwrote it. Two
+        phases keep the subset checks off the hot path:
 
         * records modifying the *same* word set (equal cached run
           signatures — the dominant pattern, a data structure's region
@@ -150,20 +155,21 @@ class FetchPlanner:
           overwritten, no word comparison needed;
         * only a *strictly larger* follower can otherwise contain a
           record, so the remaining pairwise pass compares word sets just
-          for size-increasing (and hb-ordered) pairs.
+          for size-increasing (and hb-ordered) live pairs.
         """
         n = len(recs)
         if n <= 12:
             # Small pending sets dominate; direct pairwise checks beat
             # building the grouping structures below.
-            kept = []
-            for i in range(n):
+            killed = [False] * n
+            for i in range(n - 2, -1, -1):
                 _, creator, index, _, diff = recs[i]
                 words = diff.words
                 size = len(words)
                 runs_i = diff.runs()
-                contained = False
                 for j in range(i + 1, n):
+                    if killed[j]:
+                        continue
                     follower = recs[j]
                     if follower[1] != creator and follower[3][creator] < index:
                         continue
@@ -171,14 +177,12 @@ class FetchPlanner:
                     fsize = len(fdiff.words)
                     if fsize == size:
                         if fdiff.runs() == runs_i:
-                            contained = True
+                            killed[i] = True
                             break
                     elif fsize > size and words.keys() <= fdiff.words.keys():
-                        contained = True
+                        killed[i] = True
                         break
-                if not contained:
-                    kept.append(recs[i])
-            return kept
+            return [rec for i, rec in enumerate(recs) if not killed[i]]
         killed = [False] * n
         by_sig: Dict[Tuple[Tuple[int, int], ...], List[int]] = {}
         for i, rec in enumerate(recs):
@@ -221,8 +225,7 @@ class FetchPlanner:
             last = rec_runs[-1]
             bounds.append((rec_runs[0][0], last[0] + last[1] - 1))
         sizes_desc = sorted(by_size, reverse=True)
-        kept = []
-        for i in range(n):
+        for i in range(n - 2, -1, -1):
             if killed[i]:
                 continue
             rec = recs[i]
@@ -235,7 +238,7 @@ class FetchPlanner:
                 if s <= size:
                     break
                 for j in by_size[s]:
-                    if j <= i:
+                    if j <= i or killed[j]:
                         continue
                     flo, fhi = bounds[j]
                     if flo > lo or fhi < hi:
@@ -248,9 +251,9 @@ class FetchPlanner:
                         break
                 if contained:
                     break
-            if not contained:
-                kept.append(rec)
-        return kept
+            if contained:
+                killed[i] = True
+        return [rec for i, rec in enumerate(recs) if not killed[i]]
 
     def _assign_servers(self, recs: List) -> Tuple[Tuple[ProcId, int, int], ...]:
         """Route each record to a concurrent last modifier, aggregate sizes.

@@ -38,6 +38,10 @@ class Network:
         self._handlers: Dict[ProcId, Handler] = {}
         self._log: List[Message] = []
         self.keep_log = False
+        #: Telemetry hook (see :mod:`repro.obs.probe`); None when no
+        #: recording probe is attached, so the disabled cost is one
+        #: attribute load + identity check per message.
+        self._probe = None
         # Cost-model policy flags, hoisted: send() runs once per message
         # of every sweep cell and the model is immutable.
         self._count_acks = self.cost_model.count_acks
@@ -67,6 +71,14 @@ class Network:
         """Install the message handler for processor ``proc``."""
         self._check_proc(proc)
         self._handlers[proc] = handler
+
+    def attach_probe(self, probe) -> None:
+        """Mirror every counted send into ``probe.on_message``.
+
+        Only recording probes are kept — attaching the null probe (or
+        None) leaves the accounting fast path untouched.
+        """
+        self._probe = probe if probe is not None and probe.enabled else None
 
     # -- sending ---------------------------------------------------------------
 
@@ -109,6 +121,8 @@ class Network:
                 data += self._header_bytes
             bucket.data_bytes += data
             bucket.control_bytes += control_bytes
+            if self._probe is not None:
+                self._probe.on_message(kind, src, dst, data, control_bytes, counted)
             return None
         message = Message(
             kind=kind,
@@ -126,6 +140,8 @@ class Network:
             if self._count_header:
                 data += self._header_bytes
             self.stats.record(message, data_bytes=data, counted=counted)
+            if self._probe is not None:
+                self._probe.on_message(kind, src, dst, data, control_bytes, counted)
             if self.keep_log:
                 self._log.append(message)
             channel = self._channels.get((src, dst))

@@ -1,0 +1,47 @@
+"""Logging configuration for the ``repro`` package.
+
+Every module in ``src/repro`` uses a module-level
+``logger = logging.getLogger(__name__)`` and never configures handlers
+itself; :func:`logging_setup` is the single place the tree is wired up.
+The CLI maps ``--quiet``/default/``--verbose``/``-vv`` onto verbosity
+-1/0/1/2; library users can call it directly or attach their own
+handlers to the ``repro`` logger.
+"""
+
+from __future__ import annotations
+
+import logging
+import sys
+from typing import Optional
+
+#: verbosity -> level for the ``repro`` logger tree.
+_LEVELS = {-1: logging.ERROR, 0: logging.WARNING, 1: logging.INFO, 2: logging.DEBUG}
+
+
+def logging_setup(verbosity: int = 0, stream=None, fmt: Optional[str] = None) -> logging.Logger:
+    """Configure the ``repro`` logger tree and return its root.
+
+    Args:
+        verbosity: -1 (quiet: errors only), 0 (default: warnings),
+            1 (info), 2+ (debug).
+        stream: handler target; defaults to ``sys.stderr`` so telemetry
+            never pollutes report output on stdout.
+        fmt: log format; a terse ``level name: message`` by default.
+
+    Idempotent: re-running replaces the handler installed by a previous
+    call instead of stacking duplicates.
+    """
+    root = logging.getLogger("repro")
+    level = _LEVELS.get(max(-1, min(verbosity, 2)), logging.DEBUG)
+    root.setLevel(level)
+    handler = logging.StreamHandler(stream or sys.stderr)
+    handler.setFormatter(
+        logging.Formatter(fmt or "%(levelname)s %(name)s: %(message)s")
+    )
+    for existing in list(root.handlers):
+        if getattr(existing, "_repro_obs_handler", False):
+            root.removeHandler(existing)
+    handler._repro_obs_handler = True  # type: ignore[attr-defined]
+    root.addHandler(handler)
+    root.propagate = False
+    return root

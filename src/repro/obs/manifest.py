@@ -1,0 +1,96 @@
+"""Run provenance: the manifest attached to every simulation result.
+
+A manifest answers "what exactly produced these numbers" — the question
+every regression diagnosis starts with: repository revision, full
+simulation config, workload identity (app/seed/params), a content
+digest of the trace replayed, and wall-clock phase timings. It is a
+plain dict so it pickles across sweep workers and serializes to JSON
+unchanged.
+"""
+
+from __future__ import annotations
+
+import logging
+import time
+from pathlib import Path
+from typing import Dict, Optional
+
+logger = logging.getLogger(__name__)
+
+_GIT_SHA_CACHE: Dict[str, Optional[str]] = {}
+
+
+def git_sha(repo_root: Optional[Path] = None) -> Optional[str]:
+    """The current commit SHA, or None outside a git checkout.
+
+    Reads ``.git/HEAD`` (and the ref file it points to) directly instead
+    of shelling out — manifests are built once per simulation and a
+    subprocess per run would dominate small replays. Cached per root.
+    """
+    if repo_root is None:
+        repo_root = Path(__file__).resolve().parents[3]
+    key = str(repo_root)
+    if key in _GIT_SHA_CACHE:
+        return _GIT_SHA_CACHE[key]
+    sha: Optional[str] = None
+    try:
+        git_dir = repo_root / ".git"
+        head = (git_dir / "HEAD").read_text(encoding="utf-8").strip()
+        if head.startswith("ref:"):
+            ref = head.split(None, 1)[1]
+            ref_path = git_dir / ref
+            if ref_path.exists():
+                sha = ref_path.read_text(encoding="utf-8").strip()
+            else:
+                packed = git_dir / "packed-refs"
+                if packed.exists():
+                    for line in packed.read_text(encoding="utf-8").splitlines():
+                        if line.endswith(ref) and not line.startswith(("#", "^")):
+                            sha = line.split(None, 1)[0]
+                            break
+        else:
+            sha = head
+    except OSError:
+        logger.debug("no git metadata under %s", repo_root)
+    _GIT_SHA_CACHE[key] = sha
+    return sha
+
+
+def config_dict(config) -> Dict[str, object]:
+    """A JSON-friendly rendering of a :class:`~repro.config.SimConfig`."""
+    return {
+        "n_procs": config.n_procs,
+        "page_size": config.page_size,
+        "skip_overwritten_diffs": config.skip_overwritten_diffs,
+        "diff_to_invalid_copy": config.diff_to_invalid_copy,
+        "free_local_lock_reacquire": config.free_local_lock_reacquire,
+        "piggyback_notices": config.piggyback_notices,
+        "gc_at_barriers": config.gc_at_barriers,
+        "record_values": config.record_values,
+        "use_coherence_index": config.use_coherence_index,
+    }
+
+
+def build_manifest(trace, config, timings: Optional[Dict[str, float]] = None) -> Dict[str, object]:
+    """Assemble the provenance record for one simulation of ``trace``.
+
+    ``timings`` maps phase name -> seconds (``simulate_s`` always;
+    ``compile_s`` when the engine compiled the trace itself; callers may
+    add ``generate_s``). The trace digest is memoized on the stream, so
+    sweeping 20 cells hashes the columns once.
+    """
+    params = trace.meta.params
+    seed = params.get("seed")
+    manifest: Dict[str, object] = {
+        "git_sha": git_sha(),
+        "app": trace.meta.app,
+        "seed": int(seed) if seed is not None else None,
+        "trace_digest": trace.digest(),
+        "trace_events": len(trace),
+        "trace_params": dict(params),
+        "config": config_dict(config),
+        "created": time.strftime("%Y-%m-%dT%H:%M:%S"),
+    }
+    if timings:
+        manifest["timings_s"] = {name: round(value, 6) for name, value in timings.items()}
+    return manifest

@@ -1,0 +1,173 @@
+"""Metrics: counters, histograms, and the epoch/lock traffic breakdowns.
+
+The registry receives one :meth:`record_message` call per counted
+network send (mirroring the ledger update in :meth:`Network.send` with
+the *same* counted/byte values) and one :meth:`record_miss` per serviced
+access miss, each stamped with the current barrier epoch and cause. It
+therefore decomposes a run's totals without re-deriving them: summing
+any epoch column reproduces the corresponding
+:class:`~repro.simulator.results.SimulationResult` aggregate exactly,
+which is what lets the epoch tables of ``lrc-sim report`` (the paper's
+Figure 3-6 style decomposition) be trusted as an audit of the headline
+numbers rather than a second opinion.
+
+Snapshots are plain nested dicts — picklable across
+:func:`~repro.simulator.sweep.run_sweep` worker processes and
+JSON-serializable for the CLI and CI artifacts. :func:`merge_metrics`
+folds many snapshots into one, which is how sweep workers' metrics are
+combined after the ProcessPoolExecutor boundary.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Tuple
+
+#: Columns of one epoch row (list-backed for cheap hot-path updates).
+_MSGS, _DATA, _CTRL, _MISSES = 0, 1, 2, 3
+#: Per-cause sub-columns appended after the totals.
+_CAUSE_COLS = {"lock": (4, 5), "barrier": (6, 7), "miss": (8, 9)}
+_ROW_WIDTH = 10
+
+#: Snapshot keys of one epoch row, in storage order.
+EPOCH_FIELDS = (
+    "messages",
+    "data_bytes",
+    "control_bytes",
+    "misses",
+    "lock_messages",
+    "lock_data_bytes",
+    "barrier_messages",
+    "barrier_data_bytes",
+    "miss_messages",
+    "miss_data_bytes",
+)
+
+LOCK_FIELDS = ("messages", "data_bytes", "control_bytes")
+
+
+class MetricsRegistry:
+    """Cheap counters/histograms plus per-epoch and per-lock breakdowns."""
+
+    def __init__(self) -> None:
+        self.counters: Dict[str, int] = {}
+        self.histograms: Dict[str, Dict[int, int]] = {}
+        #: One row per barrier epoch, grown on demand.
+        self._epochs: List[List[int]] = [[0] * _ROW_WIDTH]
+        #: Lock id -> [messages, data_bytes, control_bytes].
+        self._locks: Dict[int, List[int]] = {}
+
+    # -- hot-path recording --------------------------------------------------
+
+    def _row(self, epoch: int) -> List[int]:
+        epochs = self._epochs
+        while len(epochs) <= epoch:
+            epochs.append([0] * _ROW_WIDTH)
+        return epochs[epoch]
+
+    def record_message(
+        self,
+        epoch: int,
+        cause: Tuple[str, int],
+        counted: bool,
+        data_bytes: int,
+        control_bytes: int,
+    ) -> None:
+        row = self._epochs[epoch] if epoch < len(self._epochs) else self._row(epoch)
+        if counted:
+            row[_MSGS] += 1
+        row[_DATA] += data_bytes
+        row[_CTRL] += control_bytes
+        kind, ident = cause
+        cols = _CAUSE_COLS.get(kind)
+        if cols is not None:
+            if counted:
+                row[cols[0]] += 1
+            row[cols[1]] += data_bytes
+        if kind == "lock":
+            lock_row = self._locks.get(ident)
+            if lock_row is None:
+                lock_row = self._locks[ident] = [0, 0, 0]
+            if counted:
+                lock_row[0] += 1
+            lock_row[1] += data_bytes
+            lock_row[2] += control_bytes
+
+    def record_miss(self, epoch: int) -> None:
+        row = self._epochs[epoch] if epoch < len(self._epochs) else self._row(epoch)
+        row[_MISSES] += 1
+
+    def count(self, name: str, n: int = 1) -> None:
+        self.counters[name] = self.counters.get(name, 0) + n
+
+    def observe(self, name: str, value: int) -> None:
+        histogram = self.histograms.get(name)
+        if histogram is None:
+            histogram = self.histograms[name] = {}
+        histogram[value] = histogram.get(value, 0) + 1
+
+    # -- read side -----------------------------------------------------------
+
+    @property
+    def n_epochs(self) -> int:
+        return len(self._epochs)
+
+    def epoch_total(self, field: str) -> int:
+        """Sum of one epoch column across all epochs."""
+        index = EPOCH_FIELDS.index(field)
+        return sum(row[index] for row in self._epochs)
+
+    def snapshot(self) -> Dict[str, object]:
+        """A plain-dict, JSON/pickle-friendly view of everything recorded."""
+        return {
+            "epochs": [
+                dict(zip(EPOCH_FIELDS, row)) for row in self._epochs
+            ],
+            "locks": {
+                str(lock): dict(zip(LOCK_FIELDS, row))
+                for lock, row in sorted(self._locks.items())
+            },
+            "counters": dict(self.counters),
+            "histograms": {
+                name: {str(k): v for k, v in sorted(h.items())}
+                for name, h in self.histograms.items()
+            },
+        }
+
+
+def merge_metrics(snapshots: Iterable[Optional[Dict[str, object]]]) -> Dict[str, object]:
+    """Fold many :meth:`MetricsRegistry.snapshot` dicts into one.
+
+    Epoch rows are summed index-wise (shorter lists are treated as
+    zero-padded), lock/counter/histogram tables key-wise. ``None``
+    entries (runs without metrics) are skipped, so the caller can pass
+    a sweep grid's ``result.metrics`` values directly.
+    """
+    epochs: List[Dict[str, int]] = []
+    locks: Dict[str, Dict[str, int]] = {}
+    counters: Dict[str, int] = {}
+    histograms: Dict[str, Dict[str, int]] = {}
+    for snap in snapshots:
+        if not snap:
+            continue
+        for index, row in enumerate(snap.get("epochs", ())):
+            while len(epochs) <= index:
+                epochs.append({field: 0 for field in EPOCH_FIELDS})
+            target = epochs[index]
+            for field, value in row.items():
+                target[field] = target.get(field, 0) + value
+        for lock, row in snap.get("locks", {}).items():
+            target = locks.setdefault(lock, {field: 0 for field in LOCK_FIELDS})
+            for field, value in row.items():
+                target[field] = target.get(field, 0) + value
+        for name, value in snap.get("counters", {}).items():
+            counters[name] = counters.get(name, 0) + value
+        for name, buckets in snap.get("histograms", {}).items():
+            target_h = histograms.setdefault(name, {})
+            for bucket, value in buckets.items():
+                target_h[bucket] = target_h.get(bucket, 0) + value
+    return {
+        "epochs": epochs,
+        "locks": locks,
+        "counters": counters,
+        "histograms": histograms,
+    }

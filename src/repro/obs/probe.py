@@ -1,0 +1,211 @@
+"""The Probe API: how protocols report what they are doing.
+
+A :class:`Probe` receives *structured protocol events* (interval closes,
+write-notice creation/application, diff fetches, page faults, GC sweeps,
+synchronization transitions) plus a per-message accounting hook wired
+into :meth:`repro.network.network.Network.send`. Two implementations:
+
+- :class:`Probe` itself is the **null recorder**: every method is a
+  no-op and ``enabled`` is False. Protocols cache that flag as
+  ``self._obs`` and guard every emission site behind it, so the
+  telemetry layer costs a disabled run one boolean check on the (rare)
+  miss/sync paths and nothing at all on hits.
+- :class:`RecordingProbe` stamps each event with a monotonically
+  increasing sequence number and the current *barrier epoch*, fans it
+  out to its sinks, and feeds the message hook into a
+  :class:`~repro.obs.metrics.MetricsRegistry`.
+
+Attribution model: the probe tracks the synchronization operation in
+progress (``begin``/``end`` around acquire/release/barrier) so every
+message can be attributed to a *cause* — ``("lock", id)``,
+``("barrier", id)``, or the default ``("miss", -1)`` for traffic
+triggered by ordinary accesses. The *epoch* is the number of completed
+global barrier episodes; messages of the completing episode (arrivals,
+exits, notice pulls) belong to the epoch they close. Summing any
+per-epoch column therefore reproduces the run's aggregate exactly —
+pinned by ``tests/test_obs.py``.
+
+Event schema (every event is a flat dict of str -> int/str):
+
+==================  ======================================================
+key                 meaning
+==================  ======================================================
+``seq``             emission order, 0-based
+``kind``            event kind (see ``EVENT_KINDS``)
+``epoch``           completed-barrier-episode count at emission
+``proc``            acting processor (-1 if not applicable)
+*kind-specific*     e.g. ``page``, ``lock``, ``barrier``, ``server``,
+                    ``interval``, ``count``, ``bytes``, ``cold``
+==================  ======================================================
+"""
+
+from __future__ import annotations
+
+import logging
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+logger = logging.getLogger(__name__)
+
+#: The event kinds protocols emit (documented in docs/OBSERVABILITY.md).
+EVENT_KINDS = (
+    "acquire",            # lock acquire transition
+    "release",            # lock release transition
+    "barrier_arrive",     # barrier arrival transition
+    "barrier_complete",   # last arrival: the episode closes
+    "interval_close",     # a lazy interval closed (with diff totals)
+    "diff_create",        # one diff finalized at interval close
+    "diff_fetch",         # one request/reply pair to a diff server
+    "diff_apply",         # pending diffs applied to a page
+    "notices_send",       # a write-notice batch left a processor
+    "notices_apply",      # a write-notice batch was recorded
+    "page_fault",         # access miss (cold or invalid)
+    "page_fetch",         # full-page PAGE_REQUEST/REPLY round trip
+    "flush",              # eager release-time flush
+    "update_push",        # EU diff push to one destination
+    "home_flush",         # HLRC diff push to a page's home
+    "gc_sweep",           # lazy diff garbage collection pass
+    "write_fault",        # EW exclusive-ownership write fault
+)
+
+#: Default attribution when no synchronization operation is in progress.
+MISS_CAUSE: Tuple[str, int] = ("miss", -1)
+
+
+class Probe:
+    """The null recorder: the do-nothing base of the probe API.
+
+    Every emission site a protocol guards with ``self._obs`` calls into
+    these methods; the base implementations do nothing, return nothing,
+    and keep no state. :data:`NULL_PROBE` is the shared instance every
+    protocol starts with.
+    """
+
+    #: False on the null recorder; RecordingProbe overrides with True.
+    enabled: bool = False
+
+    # -- structured events ---------------------------------------------------
+
+    def emit(self, kind: str, proc: int = -1, **fields: Any) -> None:
+        """Record one structured protocol event (no-op here)."""
+
+    # -- attribution context -------------------------------------------------
+
+    def begin(self, cause_kind: str, cause_id: int) -> None:
+        """Enter a synchronization operation (lock/barrier attribution)."""
+
+    def end(self) -> None:
+        """Leave the current synchronization operation."""
+
+    def advance_epoch(self) -> None:
+        """A global barrier episode completed; subsequent traffic is next epoch's."""
+
+    # -- accounting hooks ----------------------------------------------------
+
+    def on_message(
+        self,
+        kind: Any,
+        src: int,
+        dst: int,
+        data_bytes: int,
+        control_bytes: int,
+        counted: bool,
+    ) -> None:
+        """Mirror of one :meth:`Network.send` ledger update (no-op here)."""
+
+    def page_fault(self, proc: int, page: int, cold: bool) -> None:
+        """An access miss is being serviced (no-op here)."""
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def close(self) -> None:
+        """Flush and close any sinks (no-op here)."""
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}(enabled={self.enabled})"
+
+
+#: The shared null recorder; protocols hold this until a probe is attached.
+NULL_PROBE = Probe()
+
+
+class RecordingProbe(Probe):
+    """A live probe: events go to sinks, accounting to a metrics registry.
+
+    Args:
+        sinks: event sinks (see :mod:`repro.obs.sinks`); may be empty
+            when only the metrics breakdowns are wanted.
+        metrics: the registry accumulating counters and the
+            per-epoch/per-lock breakdowns; a fresh one is created when
+            omitted.
+    """
+
+    enabled = True
+
+    def __init__(self, sinks: Optional[Sequence[Any]] = None, metrics=None):
+        from repro.obs.metrics import MetricsRegistry
+
+        self.sinks: List[Any] = list(sinks) if sinks else []
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self._seq = 0
+        self._epoch = 0
+        self._cause: Tuple[str, int] = MISS_CAUSE
+        #: Saved causes; sync operations do not nest in practice, but a
+        #: stack keeps begin/end robust if a subclass ever does.
+        self._cause_stack: List[Tuple[str, int]] = []
+
+    # -- structured events ---------------------------------------------------
+
+    def emit(self, kind: str, proc: int = -1, **fields: Any) -> None:
+        event: Dict[str, Any] = {
+            "seq": self._seq,
+            "kind": kind,
+            "epoch": self._epoch,
+            "proc": proc,
+        }
+        if fields:
+            event.update(fields)
+        self._seq += 1
+        for sink in self.sinks:
+            sink.record(event)
+
+    # -- attribution context -------------------------------------------------
+
+    def begin(self, cause_kind: str, cause_id: int) -> None:
+        self._cause_stack.append(self._cause)
+        self._cause = (cause_kind, cause_id)
+
+    def end(self) -> None:
+        self._cause = self._cause_stack.pop() if self._cause_stack else MISS_CAUSE
+
+    def advance_epoch(self) -> None:
+        self._epoch += 1
+
+    @property
+    def epoch(self) -> int:
+        """Completed global barrier episodes so far."""
+        return self._epoch
+
+    # -- accounting hooks ----------------------------------------------------
+
+    def on_message(self, kind, src, dst, data_bytes, control_bytes, counted) -> None:
+        self.metrics.record_message(
+            self._epoch, self._cause, counted, data_bytes, control_bytes
+        )
+
+    def page_fault(self, proc: int, page: int, cold: bool) -> None:
+        self.metrics.record_miss(self._epoch)
+        self.emit("page_fault", proc=proc, page=page, cold=int(cold))
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def close(self) -> None:
+        for sink in self.sinks:
+            close = getattr(sink, "close", None)
+            if close is not None:
+                close()
+
+    def __repr__(self) -> str:
+        return (
+            f"RecordingProbe(events={self._seq}, epoch={self._epoch}, "
+            f"sinks={len(self.sinks)})"
+        )

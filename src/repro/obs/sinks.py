@@ -1,0 +1,130 @@
+"""Event sinks: where a RecordingProbe's structured events land.
+
+Three built-ins, all sharing the one-method contract ``record(event)``
+(plus optional ``close()``):
+
+- :class:`MemorySink` — a list of event dicts; the default for tests
+  and the in-process report renderer.
+- :class:`JsonlSink` — one JSON object per line, the interchange format
+  (``lrc-sim run --trace-out events.jsonl``); :func:`read_jsonl` loads
+  it back losslessly.
+- :class:`ColumnarSink` — the four universal int fields in parallel
+  typed arrays (mirroring :class:`~repro.trace.stream.TraceStream`'s
+  storage) with kind names interned to small codes; kind-specific extra
+  fields ride in a parallel list only for events that have them.
+"""
+
+from __future__ import annotations
+
+import json
+import logging
+from array import array
+from pathlib import Path
+from typing import IO, Any, Dict, Iterator, List, Optional, Union
+
+logger = logging.getLogger(__name__)
+
+
+class MemorySink:
+    """Keep every event as a dict in a list."""
+
+    def __init__(self) -> None:
+        self.events: List[Dict[str, Any]] = []
+
+    def record(self, event: Dict[str, Any]) -> None:
+        self.events.append(event)
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+
+class JsonlSink:
+    """Write one JSON object per event line to a path or open file."""
+
+    def __init__(self, target: Union[str, Path, IO[str]]):
+        if hasattr(target, "write"):
+            self._fp: IO[str] = target  # type: ignore[assignment]
+            self._owned = False
+        else:
+            self._fp = open(target, "w", encoding="utf-8")
+            self._owned = True
+        self.events_written = 0
+
+    def record(self, event: Dict[str, Any]) -> None:
+        self._fp.write(json.dumps(event, separators=(",", ":")))
+        self._fp.write("\n")
+        self.events_written += 1
+
+    def close(self) -> None:
+        self._fp.flush()
+        if self._owned:
+            self._fp.close()
+
+
+def read_jsonl(source: Union[str, Path, IO[str]]) -> List[Dict[str, Any]]:
+    """Load a JSONL event file written by :class:`JsonlSink`."""
+    if hasattr(source, "read"):
+        lines: Iterator[str] = iter(source)  # type: ignore[arg-type]
+        return [json.loads(line) for line in lines if line.strip()]
+    with open(source, "r", encoding="utf-8") as fp:
+        return [json.loads(line) for line in fp if line.strip()]
+
+
+class ColumnarSink:
+    """Typed-array event storage: one entry per event, four int columns.
+
+    Columns hold ``seq`` implicitly (the index), then ``kind`` (interned
+    code), ``epoch``, ``proc``; everything else an event carries goes to
+    the ``extras`` list (``None`` for the common no-extras case, so
+    storage stays ~10 bytes/event for plain transitions).
+    """
+
+    def __init__(self) -> None:
+        self.kind_codes: Dict[str, int] = {}
+        self._kind_names: List[str] = []
+        self._kinds = array("h")
+        self._epochs = array("q")
+        self._procs = array("h")
+        self.extras: List[Optional[Dict[str, Any]]] = []
+
+    def record(self, event: Dict[str, Any]) -> None:
+        kind = event["kind"]
+        code = self.kind_codes.get(kind)
+        if code is None:
+            code = self.kind_codes[kind] = len(self._kind_names)
+            self._kind_names.append(kind)
+        self._kinds.append(code)
+        self._epochs.append(event["epoch"])
+        self._procs.append(event["proc"])
+        extra = {
+            key: value
+            for key, value in event.items()
+            if key not in ("seq", "kind", "epoch", "proc")
+        }
+        self.extras.append(extra or None)
+
+    def __len__(self) -> int:
+        return len(self._kinds)
+
+    def to_events(self) -> List[Dict[str, Any]]:
+        """Materialize back into the dict form other sinks record."""
+        names = self._kind_names
+        out: List[Dict[str, Any]] = []
+        for index in range(len(self._kinds)):
+            event: Dict[str, Any] = {
+                "seq": index,
+                "kind": names[self._kinds[index]],
+                "epoch": self._epochs[index],
+                "proc": self._procs[index],
+            }
+            extra = self.extras[index]
+            if extra:
+                event.update(extra)
+            out.append(event)
+        return out
+
+    def counts_by_kind(self) -> Dict[str, int]:
+        return {
+            name: self._kinds.count(code)
+            for name, code in sorted(self.kind_codes.items())
+        }

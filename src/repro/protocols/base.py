@@ -17,6 +17,7 @@ from repro.common.types import BarrierId, LockId, PageId, ProcId
 from repro.memory.page import PageEntry, PageState, PageTable
 from repro.network.message import MessageKind
 from repro.network.network import Network
+from repro.obs.probe import NULL_PROBE, Probe
 from repro.config import SimConfig
 from repro.sync.barrier import BarrierMaster
 from repro.sync.lock_manager import LockDirectory
@@ -56,6 +57,22 @@ class Protocol(abc.ABC):
         self.invalid_misses = 0
         self.diffs_fetched = 0
         self.diff_bytes_fetched = 0
+        # Telemetry: the null recorder until a probe is attached. Every
+        # emission site below guards on the cached ``_obs`` flag, so a
+        # run without telemetry pays one boolean check on the (rare)
+        # miss/sync paths and nothing at all on ordinary hits.
+        self.probe: Probe = NULL_PROBE
+        self._obs = False
+
+    def attach_probe(self, probe: Probe) -> None:
+        """Install ``probe`` on this protocol and its network.
+
+        Called by the engine before replay; attaching the null probe is
+        a supported no-op (the guards stay off).
+        """
+        self.probe = probe
+        self._obs = probe.enabled
+        self.network.attach_probe(probe)
 
     # -- helpers -----------------------------------------------------------
 
@@ -106,18 +123,42 @@ class Protocol(abc.ABC):
         self._note_write(proc, page, entry)
 
     def acquire(self, proc: ProcId, lock: LockId) -> None:
+        obs = self._obs
+        if obs:
+            self.probe.begin("lock", lock)
+            self.probe.emit("acquire", proc=proc, lock=lock)
         self._on_acquire(proc, lock)
         self.locks.record_acquire(proc, lock)
+        if obs:
+            self.probe.end()
 
     def release(self, proc: ProcId, lock: LockId) -> None:
+        obs = self._obs
+        if obs:
+            self.probe.begin("lock", lock)
+            self.probe.emit("release", proc=proc, lock=lock)
         self._on_release(proc, lock)
         self.locks.record_release(proc, lock)
+        if obs:
+            self.probe.end()
 
     def barrier(self, proc: ProcId, barrier: BarrierId) -> None:
         """Barrier arrival; the family hook sends the arrival message."""
+        obs = self._obs
+        if obs:
+            self.probe.begin("barrier", barrier)
+            self.probe.emit("barrier_arrive", proc=proc, barrier=barrier)
         self._on_barrier_arrive(proc, barrier)
         if self.barriers.record_arrival(proc, barrier):
+            if obs:
+                self.probe.emit("barrier_complete", proc=proc, barrier=barrier)
             self._on_barrier_complete(barrier)
+            if obs:
+                # Exit traffic above belongs to the episode it closes;
+                # everything after is the next epoch's.
+                self.probe.advance_epoch()
+        if obs:
+            self.probe.end()
 
     def finish(self) -> None:
         """Called once after the last trace event (default: no-op)."""
@@ -127,10 +168,14 @@ class Protocol(abc.ABC):
     def _service_miss(self, proc: ProcId, page: PageId, entry: PageEntry) -> None:
         if entry.state == PageState.MISSING:
             self.cold_misses += 1
+            cold = True
         elif entry.state == PageState.INVALID:
             self.invalid_misses += 1
+            cold = False
         else:
             raise ProtocolError(f"miss on VALID page {page} at p{proc}")
+        if self._obs:
+            self.probe.page_fault(proc, page, cold)
         self._handle_miss(proc, page, entry)
         if entry.state != PageState.VALID:
             raise ProtocolError(
@@ -170,6 +215,14 @@ class Protocol(abc.ABC):
         words.update(entry.dirty_words)
         entry.page.words = words
         entry.state = PageState.VALID
+        if self._obs:
+            self.probe.emit(
+                "page_fetch",
+                proc=proc,
+                page=page,
+                server=server,
+                bytes=self.costs.page_bytes(self.page_size),
+            )
 
     # -- family-specific hooks ---------------------------------------------
 

@@ -89,6 +89,8 @@ class EagerProtocol(Protocol):
         if not dirty_entries:
             return
         self.flushes += 1
+        if self._obs:
+            self.probe.emit("flush", proc=proc, count=len(dirty_entries))
         index = self._flush_counter[proc]
         self._flush_counter[proc] += 1
 
@@ -134,10 +136,18 @@ class EagerProtocol(Protocol):
                     payload += wire
                 self.network.send(update_kind, proc, dest, payload_bytes=payload)
                 self._apply_updates(dest, diffs)
+                if self._obs:
+                    self.probe.emit(
+                        "update_push", proc=proc, dest=dest, count=len(diffs), bytes=payload
+                    )
             else:
                 control = self.costs.notices_bytes(len(diffs))
                 self.network.send(notice_kind, proc, dest, control_bytes=control)
                 self._apply_invalidations(dest, [diff.page for diff in diffs])
+                if self._obs:
+                    self.probe.emit(
+                        "notices_send", proc=proc, dest=dest, count=len(diffs), bytes=control
+                    )
             self.network.send(ack_kind, dest, proc)
 
     def _reconcile(

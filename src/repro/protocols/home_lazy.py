@@ -72,6 +72,14 @@ class HomeLazy(LazyProtocol):
             )
             self.network.send(MessageKind.RELEASE_ACK, home, proc)
             self.home_flushes += 1
+            if self._obs:
+                self.probe.emit(
+                    "home_flush",
+                    proc=proc,
+                    server=home,
+                    count=len(by_home[home]),
+                    bytes=payload,
+                )
         # Flushed diffs need not be retained (HLRC's memory advantage);
         # the interval objects keep them only for the simulator's oracle.
         self._drop_retained(interval, interval.modified_pages)

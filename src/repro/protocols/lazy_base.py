@@ -157,6 +157,8 @@ class LazyProtocol(Protocol):
             store.add(interval)
         state.vc = vc
         self.intervals_closed += 1
+        if self._obs:
+            self._emit_interval_close(proc, index, interval)
         return interval
 
     def _close_interval_reference(self, proc: ProcId) -> Interval:
@@ -179,7 +181,29 @@ class LazyProtocol(Protocol):
         self.store.add(interval)
         state.vc = vc
         self.intervals_closed += 1
+        if self._obs:
+            self._emit_interval_close(proc, index, interval if interval.diffs else None)
         return interval
+
+    def _emit_interval_close(self, proc: ProcId, index: int, interval: Optional[Interval]) -> None:
+        """Telemetry for one interval close (probe-enabled runs only)."""
+        probe = self.probe
+        if interval is None:
+            probe.emit("interval_close", proc=proc, interval=index, pages=0, bytes=0)
+            return
+        costs = self.costs
+        total = 0
+        for page, diff in interval.diffs.items():
+            wire = diff.wire_bytes(costs)
+            total += wire
+            probe.emit("diff_create", proc=proc, interval=index, page=page, bytes=wire)
+        probe.emit(
+            "interval_close",
+            proc=proc,
+            interval=index,
+            pages=len(interval.diffs),
+            bytes=total,
+        )
 
     def _drop_retained(self, interval: Interval, pages: Iterable[PageId]) -> None:
         """Forget retained diffs of ``interval`` for ``pages`` (HLRC flushes)."""
@@ -313,6 +337,7 @@ class LazyProtocol(Protocol):
                 plans.append(planner.plan(page, frozenset(interval_ids)))
         if not plans:
             return 0
+        obs = self._obs
         send = self.network.send
         if len(plans) == 1:
             by_server = plans[0].by_server
@@ -321,6 +346,10 @@ class LazyProtocol(Protocol):
                 send(reply_kind, server, proc, payload_bytes=payload)
                 self.diffs_fetched += count
                 self.diff_bytes_fetched += payload
+                if obs:
+                    self.probe.emit(
+                        "diff_fetch", proc=proc, server=server, count=count, bytes=payload
+                    )
             m = len(by_server)
         else:
             merged: Dict[ProcId, List[int]] = {}
@@ -338,6 +367,10 @@ class LazyProtocol(Protocol):
                 send(reply_kind, server, proc, payload_bytes=payload)
                 self.diffs_fetched += count
                 self.diff_bytes_fetched += payload
+                if obs:
+                    self.probe.emit(
+                        "diff_fetch", proc=proc, server=server, count=count, bytes=payload
+                    )
             m = len(merged)
         table = self.procs[proc].pages
         for plan in plans:
@@ -348,6 +381,10 @@ class LazyProtocol(Protocol):
             # A concurrent local writer's uncommitted words survive merges.
             if entry.dirty_words:
                 words.update(entry.dirty_words)
+            if obs:
+                self.probe.emit(
+                    "diff_apply", proc=proc, page=plan.page, count=len(plan.apply)
+                )
         return m
 
     def _collect_diffs_reference(
@@ -377,6 +414,10 @@ class LazyProtocol(Protocol):
             self.network.send(reply_kind, server, proc, payload_bytes=payload)
             self.diffs_fetched += len(diffs)
             self.diff_bytes_fetched += payload
+            if self._obs:
+                self.probe.emit(
+                    "diff_fetch", proc=proc, server=server, count=len(diffs), bytes=payload
+                )
         self._apply_diffs(proc, needed)
         return len(by_server)
 
@@ -501,6 +542,8 @@ class LazyProtocol(Protocol):
                 diff.apply_to(entry.page.words)
             # A concurrent local writer's uncommitted words survive merges.
             entry.page.words.update(entry.dirty_words)
+            if self._obs:
+                self.probe.emit("diff_apply", proc=proc, page=page, count=len(page_diffs))
 
     # -- access misses ---------------------------------------------------------
 
@@ -542,6 +585,11 @@ class LazyProtocol(Protocol):
         notices = self._notices_for_gap(grantor_vc, state.vc)
         self.notices_sent += len(notices)
         notice_bytes = len(notices) * self._notice_bytes_each
+        if self._obs and notices:
+            self.probe.emit(
+                "notices_send", proc=grantor, dest=proc, count=len(notices), bytes=notice_bytes
+            )
+            self.probe.emit("notices_apply", proc=proc, count=len(notices))
         if self.config.piggyback_notices or not notices:
             self.network.send(
                 MessageKind.LOCK_GRANT,
@@ -581,6 +629,14 @@ class LazyProtocol(Protocol):
             self.notices_sent += len(notices)
             vc_bytes = self._vc_bytes
             notice_bytes = len(notices) * self._notice_bytes_each
+            if self._obs and notices:
+                self.probe.emit(
+                    "notices_send",
+                    proc=proc,
+                    dest=master,
+                    count=len(notices),
+                    bytes=notice_bytes,
+                )
             if self.config.piggyback_notices or not notices:
                 self.network.send(
                     MessageKind.BARRIER_ARRIVAL,
@@ -609,9 +665,15 @@ class LazyProtocol(Protocol):
         merged = self._episode_clock(barrier)
         self._episodes[barrier] = []
         vc_bytes = self._vc_bytes
+        obs = self._obs
         for proc in range(self.n_procs):
             state = self.lazy_state[proc]
             notices = self._notices_for_gap(merged, state.vc)
+            if obs and notices:
+                self.probe.emit(
+                    "notices_send", proc=master, dest=proc, count=len(notices)
+                )
+                self.probe.emit("notices_apply", proc=proc, count=len(notices))
             if proc != master:
                 self.notices_sent += len(notices)
                 notice_bytes = len(notices) * self._notice_bytes_each
@@ -654,10 +716,17 @@ class LazyProtocol(Protocol):
         protocol's memory behaviour — the simulator's value bookkeeping
         is unaffected.
         """
+        collected_before = self.gc_collected_bytes
         if self._indexed:
             self._collect_garbage_indexed()
         else:
             self._collect_garbage_reference()
+        if self._obs:
+            self.probe.emit(
+                "gc_sweep",
+                bytes=self.gc_collected_bytes - collected_before,
+                retained=self.retained_diff_bytes,
+            )
 
     def _collect_garbage_indexed(self) -> None:
         """Indexed GC over the per-page retention logs.

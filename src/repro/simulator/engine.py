@@ -18,9 +18,13 @@ suite asserts they do.
 
 from __future__ import annotations
 
+import logging
+import time
 from typing import Dict, List, Optional, Tuple, Type, Union
 
 from repro.common.errors import SimulatorError
+from repro.obs.manifest import build_manifest
+from repro.obs.probe import Probe
 from repro.protocols.base import Protocol
 from repro.protocols.registry import protocol_class
 from repro.config import SimConfig
@@ -40,6 +44,8 @@ from repro.trace.precompile import (
 from repro.trace.stream import TraceStream
 from repro.trace.validate import validate_trace
 
+logger = logging.getLogger(__name__)
+
 
 class Engine:
     """Runs one trace through one protocol."""
@@ -51,6 +57,7 @@ class Engine:
         protocol: Union[str, Type[Protocol]],
         validate: bool = False,
         compiled: Optional[CompiledTrace] = None,
+        probe: Optional[Probe] = None,
     ):
         if trace.n_procs > config.n_procs:
             raise ValueError(
@@ -66,6 +73,9 @@ class Engine:
         self.config = config
         cls = protocol_class(protocol) if isinstance(protocol, str) else protocol
         self.protocol: Protocol = cls(config)
+        self.probe = probe
+        if probe is not None and probe.enabled:
+            self.protocol.attach_probe(probe)
         self._compiled = compiled
         self._ran = False
         if validate:
@@ -83,9 +93,12 @@ class Engine:
     def run(self) -> SimulationResult:
         """Replay the whole trace and return the accounting."""
         self._claim_run()
+        timings: Dict[str, float] = {}
         compiled = self._compiled
         if compiled is None:
+            t0 = time.perf_counter()
             compiled = self.trace.compiled(self.config.page_size)
+            timings["compile_s"] = time.perf_counter() - t0
         protocol = self.protocol
         record = self.config.record_values
         read_values: Optional[List[Tuple[int, List[int]]]] = [] if record else None
@@ -98,6 +111,7 @@ class Engine:
         release = protocol.release
         barrier = protocol.barrier
 
+        t0 = time.perf_counter()
         for op in compiled.ops:
             code = op[0]
             if code == OP_WRITE:
@@ -128,7 +142,16 @@ class Engine:
                     write(proc, page, words, token)
 
         protocol.finish()
-        return self._result(read_values)
+        timings["simulate_s"] = elapsed = time.perf_counter() - t0
+        if logger.isEnabledFor(logging.DEBUG):
+            logger.debug(
+                "replayed %s/%s: %d events in %.3fs",
+                self.trace.meta.app,
+                protocol.name,
+                len(self.trace),
+                elapsed,
+            )
+        return self._result(read_values, timings)
 
     def run_reference(self) -> SimulationResult:
         """The original event-by-event interpreter, kept as the baseline.
@@ -144,6 +167,7 @@ class Engine:
         record = self.config.record_values
         read_values: Optional[List[Tuple[int, List[int]]]] = [] if record else None
 
+        t0 = time.perf_counter()
         for event in self.trace:
             if event.type == EventType.READ:
                 assert event.addr is not None and event.size is not None
@@ -170,9 +194,12 @@ class Engine:
                 protocol.barrier(event.proc, event.barrier)
 
         protocol.finish()
-        return self._result(read_values)
+        timings = {"simulate_s": time.perf_counter() - t0}
+        return self._result(read_values, timings)
 
-    def _result(self, read_values) -> SimulationResult:
+    def _result(
+        self, read_values, timings: Optional[Dict[str, float]] = None
+    ) -> SimulationResult:
         protocol = self.protocol
         counters = {}
         for attr in (
@@ -192,6 +219,13 @@ class Engine:
         ):
             if hasattr(protocol, attr):
                 counters[attr] = getattr(protocol, attr)
+        probe = self.probe
+        metrics_snapshot = None
+        if probe is not None and probe.enabled:
+            registry = getattr(probe, "metrics", None)
+            if registry is not None:
+                metrics_snapshot = registry.snapshot()
+        seed = self.trace.meta.params.get("seed")
         return SimulationResult(
             app=self.trace.meta.app,
             protocol=protocol.name,
@@ -205,6 +239,10 @@ class Engine:
             diff_bytes_fetched=protocol.diff_bytes_fetched,
             counters=counters,
             read_values=read_values,
+            seed=int(seed) if seed is not None else None,
+            trace_digest=self.trace.digest(),
+            manifest=build_manifest(self.trace, self.config, timings),
+            metrics=metrics_snapshot,
         )
 
 
@@ -231,15 +269,18 @@ def simulate(
     trace: TraceStream,
     protocol: Union[str, Type[Protocol]],
     config: Optional[SimConfig] = None,
+    probe: Optional[Probe] = None,
     **config_overrides,
 ) -> SimulationResult:
     """One-call simulation: ``simulate(trace, "LI", page_size=1024)``.
 
     ``config_overrides`` are applied on top of ``config`` (or a default
-    config sized to the trace's processor count).
+    config sized to the trace's processor count). Pass a
+    :class:`~repro.obs.probe.RecordingProbe` as ``probe`` to collect
+    telemetry; the result then carries a metrics snapshot.
     """
     if config is None:
         config = SimConfig(n_procs=trace.n_procs)
     if config_overrides:
         config = config.with_options(**config_overrides)
-    return Engine(trace, config, protocol).run()
+    return Engine(trace, config, protocol, probe=probe).run()

@@ -31,6 +31,16 @@ class SimulationResult:
     diff_bytes_fetched: int
     counters: Dict[str, int] = field(default_factory=dict)
     read_values: Optional[List[Tuple[int, List[int]]]] = None
+    #: The workload's generation seed (from the trace metadata), if known.
+    seed: Optional[int] = None
+    #: Stable digest of the replayed trace (see ``TraceStream.digest``).
+    trace_digest: Optional[str] = None
+    #: Run provenance: git SHA, config, seed, digest, phase timings
+    #: (see :func:`repro.obs.manifest.build_manifest`).
+    manifest: Optional[Dict[str, object]] = None
+    #: Snapshot of the run's :class:`~repro.obs.metrics.MetricsRegistry`
+    #: when telemetry was enabled (plain dicts, JSON/pickle friendly).
+    metrics: Optional[Dict[str, object]] = None
 
     @property
     def messages(self) -> int:
@@ -63,12 +73,19 @@ class SimulationResult:
         return {name: bucket.data_bytes for name, bucket in self.stats.by_category().items()}
 
     def to_dict(self) -> Dict[str, object]:
-        """A JSON-friendly summary (no per-read values)."""
-        return {
+        """A JSON-friendly summary (no per-read values).
+
+        Every export carries the same provenance quadruple — protocol,
+        page size, seed, trace digest — so result rows from the CLI,
+        sweeps, and the experiment pipeline are uniformly attributable.
+        """
+        out: Dict[str, object] = {
             "app": self.app,
             "protocol": self.protocol,
             "page_size": self.page_size,
             "n_procs": self.n_procs,
+            "seed": self.seed,
+            "trace_digest": self.trace_digest,
             "events": self.events,
             "messages": self.messages,
             "data_kbytes": round(self.data_kbytes, 3),
@@ -79,6 +96,17 @@ class SimulationResult:
             "category_data_bytes": self.category_data_bytes(),
             **self.counters,
         }
+        if self.metrics is not None:
+            out["metrics"] = self.metrics
+        if self.manifest is not None:
+            # Drop the wall-clock keys so to_dict stays deterministic
+            # across identical replays (pinned by the integration tests).
+            out["manifest"] = {
+                k: v
+                for k, v in self.manifest.items()
+                if k not in ("created", "timings_s")
+            }
+        return out
 
     def summary_row(self) -> str:
         """One formatted report line."""

@@ -14,19 +14,30 @@ the grid a parallel sweep produces is cell-for-cell identical to a
 serial one, which the equivalence tests assert. Serial sweeps still
 amortize trace precompilation: all protocols at one page size share one
 :class:`~repro.trace.precompile.CompiledTrace` through the stream's memo.
+
+With ``metrics=True`` every cell runs under its own
+:class:`~repro.obs.probe.RecordingProbe` (metrics only, no event sinks);
+snapshots are plain dicts, so they cross the process-pool boundary
+unchanged and :meth:`SweepResult.merged_metrics` can fold any subset of
+the grid after the fact.
 """
 
 from __future__ import annotations
 
+import logging
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
+from repro.obs.metrics import merge_metrics
+from repro.obs.probe import RecordingProbe
 from repro.protocols.registry import protocol_names
 from repro.config import PAPER_PAGE_SIZES, SimConfig
 from repro.simulator.engine import Engine
 from repro.simulator.results import SimulationResult
 from repro.trace.stream import TraceStream
+
+logger = logging.getLogger(__name__)
 
 
 @dataclass
@@ -55,6 +66,37 @@ class SweepResult:
     def data_table(self) -> Dict[str, List[float]]:
         return {p: self.data_series(p) for p in self.protocols}
 
+    def merged_metrics(self, protocol: Optional[str] = None) -> Dict[str, object]:
+        """Fold the grid's per-cell metrics snapshots into one.
+
+        ``protocol`` restricts the fold to one protocol's row of the
+        grid. Cells run without metrics contribute nothing.
+        """
+        cells = (
+            result
+            for (proto, _size), result in sorted(self.grid.items())
+            if protocol is None or proto == protocol
+        )
+        return merge_metrics(result.metrics for result in cells)
+
+    def manifest(self) -> Optional[Dict[str, object]]:
+        """The shared provenance record of the sweep's cells.
+
+        Every cell replays the same trace, so any cell's manifest (minus
+        the per-cell config/timings) describes the sweep; this returns
+        the first cell's manifest annotated with the grid shape.
+        """
+        for protocol in self.protocols:
+            for page_size in self.page_sizes:
+                result = self.grid.get((protocol, page_size))
+                if result is not None and result.manifest is not None:
+                    manifest = dict(result.manifest)
+                    manifest.pop("timings_s", None)
+                    manifest["sweep_protocols"] = list(self.protocols)
+                    manifest["sweep_page_sizes"] = list(self.page_sizes)
+                    return manifest
+        return None
+
     def format_table(self, metric: str = "messages") -> str:
         """A text rendering of one figure (rows: protocols, cols: page sizes)."""
         header = f"{self.app} — {metric} by page size"
@@ -78,12 +120,14 @@ class SweepResult:
 
 _worker_trace: Optional[TraceStream] = None
 _worker_config: Optional[SimConfig] = None
+_worker_metrics: bool = False
 
 
-def _init_sweep_worker(trace: TraceStream, config: SimConfig) -> None:
-    global _worker_trace, _worker_config
+def _init_sweep_worker(trace: TraceStream, config: SimConfig, metrics: bool) -> None:
+    global _worker_trace, _worker_config, _worker_metrics
     _worker_trace = trace
     _worker_config = config
+    _worker_metrics = metrics
 
 
 def _run_sweep_cell(cell: Tuple[str, int]) -> Tuple[str, int, SimulationResult]:
@@ -94,6 +138,7 @@ def _run_sweep_cell(cell: Tuple[str, int]) -> Tuple[str, int, SimulationResult]:
         _worker_config.with_page_size(page_size),
         protocol,
         compiled=_worker_trace.compiled(page_size),
+        probe=RecordingProbe() if _worker_metrics else None,
     )
     return protocol, page_size, engine.run()
 
@@ -104,17 +149,29 @@ def run_sweep(
     page_sizes: Optional[Sequence[int]] = None,
     config: Optional[SimConfig] = None,
     jobs: Optional[int] = None,
+    metrics: bool = False,
 ) -> SweepResult:
     """Run ``trace`` across the protocol and page-size grid.
 
     ``jobs=N`` with ``N > 1`` distributes the grid over ``N`` worker
     processes; ``jobs=None`` (or 1) runs serially in-process. Both paths
-    produce identical grids.
+    produce identical grids. ``metrics=True`` attaches a per-cell
+    :class:`~repro.obs.probe.RecordingProbe`, so every cell's result
+    carries a metrics snapshot (and parallel workers' snapshots travel
+    back as plain dicts — see :meth:`SweepResult.merged_metrics`).
     """
     protocols = list(protocols) if protocols else protocol_names()
     page_sizes = list(page_sizes) if page_sizes else list(PAPER_PAGE_SIZES)
     base = config or SimConfig(n_procs=trace.n_procs)
     sweep = SweepResult(app=trace.meta.app, protocols=protocols, page_sizes=page_sizes)
+    logger.info(
+        "sweep %s: %d protocols x %d page sizes%s%s",
+        trace.meta.app,
+        len(protocols),
+        len(page_sizes),
+        f", {jobs} workers" if jobs and jobs > 1 else "",
+        ", metrics on" if metrics else "",
+    )
     if jobs is not None and jobs > 1:
         # Page-size-major order so early work units cover distinct page
         # sizes (cells at one page size are the most similar in cost).
@@ -123,7 +180,7 @@ def run_sweep(
         with ProcessPoolExecutor(
             max_workers=jobs,
             initializer=_init_sweep_worker,
-            initargs=(trace, base),
+            initargs=(trace, base, metrics),
         ) as pool:
             for protocol, page_size, result in pool.map(_run_sweep_cell, cells):
                 collected[(protocol, page_size)] = result
@@ -140,6 +197,7 @@ def run_sweep(
                 base.with_page_size(page_size),
                 protocol,
                 compiled=trace.compiled(page_size),
+                probe=RecordingProbe() if metrics else None,
             )
             sweep.grid[(protocol, page_size)] = engine.run()
     return sweep

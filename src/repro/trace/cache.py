@@ -20,12 +20,15 @@ from __future__ import annotations
 
 import hashlib
 import json
+import logging
 import os
 from pathlib import Path
 from typing import Optional, Union
 
 from repro.trace.codec import load_trace, save_trace
 from repro.trace.stream import TraceStream
+
+logger = logging.getLogger(__name__)
 
 _ENV_VAR = "REPRO_TRACE_CACHE"
 _DEFAULT_DIR = Path.home() / ".cache" / "repro-lrc" / "traces"
@@ -55,13 +58,17 @@ def cached_app_trace(
     path = cache_path(app, cache_dir=cache_dir, **params)
     if path.exists():
         try:
-            return load_trace(path)
+            trace = load_trace(path)
+            logger.debug("trace cache hit: %s", path.name)
+            return trace
         except Exception:
             # Truncated/corrupt file (e.g. an interrupted write or a
             # format change): fall through and regenerate.
+            logger.warning("unreadable trace cache file %s; regenerating", path)
             path.unlink(missing_ok=True)
     from repro.apps import APPS  # deferred: apps imports trace modules
 
+    logger.info("trace cache miss: generating %s %s", app, params)
     trace = APPS[app](**params)
     path.parent.mkdir(parents=True, exist_ok=True)
     # Write to a temp name and rename so a concurrent or interrupted run

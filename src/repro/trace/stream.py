@@ -74,6 +74,7 @@ class TraceStream:
         self._values = array("q")
         self._sizes = array("i")
         self._compiled: Dict[int, object] = {}
+        self._digest: Optional[str] = None
         if events:
             for event in events:
                 self.append(event)
@@ -116,6 +117,7 @@ class TraceStream:
         self._procs.append(event.proc)
         if self._compiled:
             self._compiled = {}
+        self._digest = None
 
     def append_raw(self, code: int, proc: int, value: int, size: int) -> None:
         """Append one event straight into the columns (no Event object).
@@ -132,6 +134,7 @@ class TraceStream:
         self._sizes.append(size)
         if self._compiled:
             self._compiled = {}
+        self._digest = None
 
     # -- compiled form ---------------------------------------------------------
 
@@ -156,6 +159,29 @@ class TraceStream:
         state = dict(self.__dict__)
         state["_compiled"] = {}
         return state
+
+    def __setstate__(self, state):
+        self.__dict__.update(state)
+        # Streams pickled before the digest memo existed restore cleanly.
+        self.__dict__.setdefault("_digest", None)
+
+    def digest(self) -> str:
+        """Content digest of the trace: columns + processor count + app.
+
+        A stable, memoized blake2b over the raw column bytes — the
+        provenance key run manifests carry so two results can be checked
+        for having replayed the identical trace. Invalidated on append
+        (like the compiled-form memo).
+        """
+        if self._digest is None:
+            import hashlib
+
+            h = hashlib.blake2b(digest_size=16)
+            h.update(f"{self.meta.app}|{self.meta.n_procs}|".encode())
+            for column in (self._codes, self._procs, self._values, self._sizes):
+                h.update(column.tobytes())
+            self._digest = h.hexdigest()
+        return self._digest
 
     # -- event view ------------------------------------------------------------
 

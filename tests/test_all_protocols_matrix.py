@@ -44,8 +44,9 @@ class TestUniversalInvariants:
         assert result.events == len(water_trace)
 
     @pytest.mark.parametrize("protocol", ALL)
-    def test_category_totals_sum(self, water_trace, protocol):
-        result = simulate(water_trace, protocol, page_size=2048)
+    def test_category_totals_sum(self, app_trace, protocol):
+        """Table-1 categories partition the traffic, on every app."""
+        result = simulate(app_trace, protocol, page_size=2048)
         assert sum(result.category_messages().values()) == result.messages
         assert sum(result.category_data_bytes().values()) == result.data_bytes
 

@@ -111,6 +111,75 @@ class TestCommands:
         out = capsys.readouterr().out
         assert "burstiness" in out and "HLRC" in out
 
+    def test_run_metrics_and_trace_out(self, tmp_path, capsys):
+        events_path = tmp_path / "events.jsonl"
+        assert (
+            main(
+                [
+                    "run",
+                    *small_args("water"),
+                    "--protocol",
+                    "LI",
+                    "--page-size",
+                    "1024",
+                    "--metrics",
+                    "--trace-out",
+                    str(events_path),
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "traffic by barrier epoch" in out
+        from repro.obs import read_jsonl
+
+        events = read_jsonl(events_path)
+        assert events and all("kind" in e and "epoch" in e for e in events)
+
+    def test_report(self, capsys):
+        assert (
+            main(["report", *small_args("water"), "--protocol", "LU", "--page-size", "1024"])
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "traffic by barrier epoch" in out
+        assert "traffic by lock" in out
+        assert "epoch sums == run totals" in out
+
+    def test_report_json(self, tmp_path, capsys):
+        import json
+
+        json_path = tmp_path / "report.json"
+        assert (
+            main(
+                [
+                    "report",
+                    *small_args("mp3d"),
+                    "--protocol",
+                    "LI",
+                    "--page-size",
+                    "512",
+                    "--json",
+                    str(json_path),
+                ]
+            )
+            == 0
+        )
+        doc = json.loads(json_path.read_text())
+        assert doc["protocol"] == "LI" and doc["seed"] == 1
+        assert doc["metrics"]["epochs"]
+        assert doc["manifest"]["trace_digest"] == doc["trace_digest"]
+
+    def test_verbose_logs_to_stderr(self, capsys):
+        assert main(["-v", "run", *small_args("water"), "--page-size", "1024"]) == 0
+        captured = capsys.readouterr()
+        assert "generated water" in captured.err
+        assert "generated water" not in captured.out
+
+    def test_quiet_suppresses_info(self, capsys):
+        assert main(["-q", "run", *small_args("water"), "--page-size", "1024"]) == 0
+        assert "generated water" not in capsys.readouterr().err
+
     def test_export(self, tmp_path, capsys):
         assert (
             main(
