@@ -1,11 +1,13 @@
 #!/usr/bin/env python
 """Measure core simulator performance and write (or check) BENCH_core.json.
 
-Five measurements:
+Six measurements:
 
 * protocol simulation events/second over the water trace used by
   ``benchmarks/bench_simulator_throughput.py`` (n_procs=8, 96 molecules,
   2 timesteps, 2048-byte pages), best of N runs per protocol,
+* batched access-run kernels (the default) vs the per-event reference
+  interpreters on LI/LU, pinning the kernel speedup,
 * wall-clock for the full 4x5 sweep grid over that trace, serial vs
   ``jobs=4``,
 * trace *generation* events/second on the paper's default 16-processor
@@ -48,6 +50,7 @@ sys.path.insert(0, str(REPO_ROOT / "src"))
 
 from repro.apps import water  # noqa: E402
 from repro.obs.probe import RecordingProbe  # noqa: E402
+from repro.obs.sinks import ColumnarSink  # noqa: E402
 from repro.simulator.engine import simulate  # noqa: E402
 from repro.simulator.sweep import run_sweep  # noqa: E402
 from repro.trace.cache import cached_app_trace  # noqa: E402
@@ -106,6 +109,38 @@ def measure_throughput(trace) -> dict:
         throughput[protocol] = round(n_events / elapsed)
         print(f"{protocol}: {throughput[protocol]:,} events/s")
     return throughput
+
+
+def measure_batched(trace) -> dict:
+    """Batched access-run kernels vs the per-event reference interpreters.
+
+    ``use_batched_kernels=True`` is the shipped default, so the plain
+    throughput section above already measures the batched path; this
+    section pins the per-event reference rate next to it so the kernel
+    speedup stays visible in the committed report.
+    """
+    n_events = len(trace)
+    out = {}
+    for protocol in ("LI", "LU"):
+        batched_s = best_of(lambda: simulate(trace, protocol, page_size=PAGE_SIZE))
+        reference_s = best_of(
+            lambda: simulate(
+                trace, protocol, page_size=PAGE_SIZE, use_batched_kernels=False
+            )
+        )
+        batched = round(n_events / batched_s)
+        reference = round(n_events / reference_s)
+        speedup = batched / reference
+        print(
+            f"batched {protocol}: {batched:,} events/s vs per-event "
+            f"{reference:,} events/s ({speedup:.2f}x)"
+        )
+        out[protocol] = {
+            "batched_events_per_s": batched,
+            "per_event_events_per_s": reference,
+            "speedup": round(speedup, 2),
+        }
+    return out
 
 
 def measure_generation() -> dict:
@@ -194,22 +229,37 @@ def measure_telemetry(trace) -> dict:
             ),
             rounds=2 * ROUNDS,
         )
+        sink_s = best_of(
+            lambda: simulate(
+                trace,
+                protocol,
+                page_size=PAGE_SIZE,
+                probe=RecordingProbe(sinks=[ColumnarSink()]),
+            ),
+            rounds=2 * ROUNDS,
+        )
         off_rate = off_rates[protocol]
         on_rate = round(n_events / on_s)
+        sink_rate = round(n_events / sink_s)
         pre = PRE_TELEMETRY_EVENTS_PER_S[protocol]
         null_pct = (pre - off_rate) / pre * 100.0
         recording_pct = (off_rate - on_rate) / off_rate * 100.0
+        sink_pct = (off_rate - sink_rate) / off_rate * 100.0
         print(
             f"telemetry {protocol}: off {off_rate:,} events/s "
             f"({null_pct:+.1f}% vs pre-telemetry {pre:,}), "
-            f"on {on_rate:,} events/s ({recording_pct:+.1f}% recording cost)"
+            f"on {on_rate:,} events/s ({recording_pct:+.1f}% recording cost), "
+            f"on+columnar-sink {sink_rate:,} events/s "
+            f"({sink_pct:+.1f}% recording cost)"
         )
         out["protocols"][protocol] = {
             "off_events_per_s": off_rate,
             "on_events_per_s": on_rate,
+            "on_columnar_sink_events_per_s": sink_rate,
             "pre_telemetry_events_per_s": pre,
             "null_overhead_pct": round(null_pct, 2),
             "recording_overhead_pct": round(recording_pct, 2),
+            "columnar_sink_overhead_pct": round(sink_pct, 2),
         }
     return out
 
@@ -276,6 +326,7 @@ def main(argv=None) -> int:
     # trace whose fragmentation would pollute the comparison against
     # the pre-telemetry baseline.
     telemetry = measure_telemetry(trace)
+    batched = measure_batched(trace)
 
     serial_s = best_of(lambda: run_sweep(trace), rounds=2)
     jobs4_s = best_of(lambda: run_sweep(trace, jobs=4), rounds=2)
@@ -309,6 +360,7 @@ def main(argv=None) -> int:
                 "jobs=4 only adds pool overhead (results stay identical)"
             ),
         },
+        "batched_kernels": batched,
         "generation": generation,
         "trcb_load": trcb_load,
         "telemetry": telemetry,

@@ -64,6 +64,16 @@ class SimConfig:
             miss. Results are bit-identical either way — the reference
             scan survives behind ``False`` as the equivalence baseline,
             mirroring ``Engine.run_reference``.
+        use_batched_kernels: replay the lazy protocols with the batched
+            access-run kernels (one page-table/planner operation per
+            contiguous per-page access run, driven by the precomputed
+            happened-before skeleton — see :mod:`repro.hb.skeleton`)
+            instead of interpreting every event. Applies only when the
+            coherence index is on, ``record_values`` is off, and the
+            protocol supports it (the eager family and hook-overriding
+            subclasses fall back to per-event silently). Results are
+            bit-identical either way; the per-event interpreters remain
+            behind ``False`` as the equivalence baseline.
     """
 
     n_procs: int = PAPER_N_PROCS
@@ -76,6 +86,7 @@ class SimConfig:
     gc_at_barriers: bool = False
     record_values: bool = False
     use_coherence_index: bool = True
+    use_batched_kernels: bool = True
 
     def __post_init__(self) -> None:
         if self.n_procs < 1:

@@ -1,0 +1,269 @@
+"""The protocol-independent happened-before skeleton of one trace.
+
+Everything the lazy protocols derive from synchronization order — vector
+clock evolution, interval contents and diffs, and the write-notice gap
+each grant/barrier message covers — is fully determined by the trace and
+the processor count. None of it depends on which lazy protocol runs or
+on the per-run config: merging the grantor's clock is the identity
+precisely when ``free_local_lock_reacquire`` would skip it, and the
+piggyback/GC/diff options only change *messages*, never clocks or
+interval contents.
+
+:func:`build_skeleton` therefore replays the synchronization structure
+once per (compiled trace, n_procs), producing:
+
+* a fully populated :class:`~repro.hb.store.IntervalStore` — every
+  interval of the whole run, with its diffs finalized in first-write
+  order (identical dict contents to what the per-event close would
+  build), which also means the store's write-notice index and the
+  :class:`~repro.hb.index.FetchPlanner` built over it answer queries for
+  any prefix of the run correctly (plans only ever touch the interval
+  ids they are asked about);
+* one *sync record* per special access, carrying the closed interval,
+  the pre-merged clocks, and the notice batches already grouped by page
+  — everything the batched kernels in
+  :mod:`repro.protocols.lazy_base` need to replay a sync operation
+  without touching the store.
+
+Sync record shapes (plain tuples, hot-path friendly)::
+
+    close_rec = (index, vc_after_close, interval_or_None)
+    (K_ACQUIRE, close_rec, grantor, manager, n_notices, grouped, vc_after)
+    (K_RELEASE, close_rec)
+    (K_BARRIER, close_rec, n_to_master, complete_or_None)
+        n_to_master: notice count the arrival carries (-1 for the
+        master's own arrival, which sends nothing)
+        complete: tuple over procs of (n_notices, grouped, vc_after),
+        present only on the completing arrival
+
+``grouped`` is the gap's notices as ``(page, (interval_id, ...))`` pairs
+in first-occurrence order — the order the per-event receive loop would
+insert pages into ``pending``, which downstream code (LU's pull scan,
+diff-apply emission) iterates.
+
+:func:`batch_plan` memoizes one :class:`BatchPlan` (skeleton + run
+program + shared fetch planners) per n_procs on the compiled trace
+itself, so every protocol replay of a sweep reuses it.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.common.types import BarrierId, ProcId
+from repro.common.vector_clock import VectorClock
+from repro.hb.index import FetchPlanner
+from repro.hb.interval import Interval
+from repro.hb.store import IntervalStore
+from repro.memory.diff import Diff
+from repro.network.costs import CostModel
+from repro.sync.barrier import BarrierMaster
+from repro.sync.lock_manager import LockDirectory
+from repro.trace.precompile import (
+    OP_ACQUIRE,
+    OP_BARRIER,
+    OP_READ,
+    OP_READ_N,
+    OP_RELEASE,
+    OP_WRITE,
+    OP_WRITE_N,
+    CompiledTrace,
+)
+from repro.trace.runs import RunProgram, segment_runs
+
+K_ACQUIRE = 0
+K_RELEASE = 1
+K_BARRIER = 2
+
+
+class Skeleton:
+    """The prebuilt interval store plus one sync record per special access."""
+
+    __slots__ = ("n_procs", "store", "records")
+
+    def __init__(self, n_procs: int, store: IntervalStore, records: List[tuple]):
+        self.n_procs = n_procs
+        self.store = store
+        self.records = records
+
+    def __repr__(self) -> str:
+        return f"Skeleton(n_procs={self.n_procs}, {len(self.records)} sync records)"
+
+
+class BatchPlan:
+    """Everything a batched replay of one compiled trace shares.
+
+    The run program and skeleton are immutable during replays; the
+    fetch planners (one per (cost model, pruning flag) actually used)
+    are memo caches over the immutable store, so sharing them across
+    protocol instances only widens the memo hit rate.
+    """
+
+    __slots__ = ("compiled", "runs", "skeleton", "_planners")
+
+    def __init__(self, compiled: CompiledTrace, runs: RunProgram, skeleton: Skeleton):
+        self.compiled = compiled
+        self.runs = runs
+        self.skeleton = skeleton
+        self._planners: Dict[Tuple[CostModel, bool], FetchPlanner] = {}
+
+    @property
+    def store(self) -> IntervalStore:
+        return self.skeleton.store
+
+    @property
+    def records(self) -> List[tuple]:
+        return self.skeleton.records
+
+    def planner_for(self, cost_model: CostModel, prune_overwritten: bool) -> FetchPlanner:
+        key = (cost_model, prune_overwritten)
+        planner = self._planners.get(key)
+        if planner is None:
+            planner = self._planners[key] = FetchPlanner(
+                self.skeleton.store, cost_model, prune_overwritten
+            )
+        return planner
+
+    def __repr__(self) -> str:
+        return f"BatchPlan({self.compiled!r}, {len(self.records)} sync records)"
+
+
+def _grouped_gap(
+    store: IntervalStore, sender_vc: VectorClock, receiver_vc: VectorClock
+) -> Tuple[int, tuple]:
+    """The notice gap as (count, ((page, interval_ids), ...)).
+
+    Pages appear in first-occurrence order over the flat notice list —
+    the per-event receive loop's ``pending`` insertion order. Notices
+    whose creator is the receiver never appear at receive time (a
+    processor's own entry always covers its own intervals), so no
+    creator filtering is needed here; the count feeds the wire-byte and
+    ``notices_sent`` accounting unfiltered, exactly like the per-event
+    path.
+    """
+    notices = store.gap_notices(sender_vc, receiver_vc)
+    if not notices:
+        return 0, ()
+    by_page: Dict[int, List[tuple]] = {}
+    for notice in notices:
+        page = notice[2]
+        ids = by_page.get(page)
+        if ids is None:
+            by_page[page] = ids = []
+        ids.append(notice[:2])
+    return len(notices), tuple((page, tuple(ids)) for page, ids in by_page.items())
+
+
+def build_skeleton(compiled: CompiledTrace, n_procs: int) -> Skeleton:
+    """One pass over the compiled ops, replaying synchronization only."""
+    store = IntervalStore(n_procs)
+    locks = LockDirectory(n_procs)
+    barriers = BarrierMaster(n_procs)
+    master = barriers.master
+    vcs = [VectorClock.zero(n_procs) for _ in range(n_procs)]
+    #: Open-interval writes: per proc, page -> (word -> last token), in
+    #: first-write order — mirrors the page tables' dirty registries.
+    dirty: List[Dict[int, Dict[int, int]]] = [{} for _ in range(n_procs)]
+    episodes: Dict[BarrierId, List[VectorClock]] = {}
+    records: List[tuple] = []
+    append_record = records.append
+
+    def close(proc: ProcId) -> tuple:
+        vc = vcs[proc]
+        index = vc._entries[proc] + 1
+        vc = vc.advanced(proc, index)
+        pages = dirty[proc]
+        if pages:
+            interval = Interval(proc, index, vc)
+            for page, words in pages.items():
+                interval.add_diff(Diff(page, proc, index, words, copy=False))
+            dirty[proc] = {}
+            interval.close()
+            store.add(interval)
+        else:
+            interval = None
+            store.add_empty(proc, index, vc)
+        vcs[proc] = vc
+        return (index, vc, interval)
+
+    for op in compiled.ops:
+        code = op[0]
+        if code == OP_WRITE:
+            words = dirty[op[1]].get(op[2])
+            if words is None:
+                dirty[op[1]][op[2]] = words = {}
+            token = op[4]
+            for word in op[3]:
+                words[word] = token
+        elif code <= OP_READ_N:  # OP_READ or OP_READ_N: no hb effect
+            continue
+        elif code == OP_WRITE_N:
+            proc_dirty = dirty[op[1]]
+            token = op[3]
+            for page, op_words in op[2]:
+                words = proc_dirty.get(page)
+                if words is None:
+                    proc_dirty[page] = words = {}
+                for word in op_words:
+                    words[word] = token
+        elif code == OP_ACQUIRE:
+            proc, lock = op[1], op[2]
+            close_rec = close(proc)
+            grantor = locks.grantor_of(lock)
+            manager = locks.manager_of(lock)
+            grantor_vc = vcs[grantor]
+            n, grouped = _grouped_gap(store, grantor_vc, vcs[proc])
+            vc_after = vcs[proc].merged(grantor_vc)
+            append_record((K_ACQUIRE, close_rec, grantor, manager, n, grouped, vc_after))
+            # Config-independent: when free_local_lock_reacquire skips
+            # the merge at runtime, grantor == proc and the merge is the
+            # identity anyway (a clock always covers its own intervals).
+            vcs[proc] = vc_after
+            locks.record_acquire(proc, lock)
+        elif code == OP_RELEASE:
+            proc, lock = op[1], op[2]
+            append_record((K_RELEASE, close(proc)))
+            locks.record_release(proc, lock)
+        else:  # OP_BARRIER
+            proc, barrier = op[1], op[2]
+            close_rec = close(proc)
+            episode = episodes.setdefault(barrier, [])
+            if proc != master:
+                merged = vcs[master]
+                for vc in episode:
+                    merged = merged.merged(vc)
+                n_to_master = _grouped_gap(store, vcs[proc], merged)[0]
+            else:
+                n_to_master = -1
+            episode.append(vcs[proc])
+            complete: Optional[tuple] = None
+            if barriers.record_arrival(proc, barrier):
+                merged = vcs[master]
+                for vc in episode:
+                    merged = merged.merged(vc)
+                episodes[barrier] = []
+                per_proc = []
+                for p in range(n_procs):
+                    n, grouped = _grouped_gap(store, merged, vcs[p])
+                    per_proc.append((n, grouped, vcs[p].merged(merged)))
+                for p in range(n_procs):
+                    vcs[p] = per_proc[p][2]
+                complete = tuple(per_proc)
+            append_record((K_BARRIER, close_rec, n_to_master, complete))
+    return Skeleton(n_procs, store, records)
+
+
+def batch_plan(compiled: CompiledTrace, n_procs: int) -> BatchPlan:
+    """The (memoized) batch plan of ``compiled`` for ``n_procs``.
+
+    Cached on the compiled trace itself, so all protocols of a sweep
+    cell — and every best-of round of a benchmark — share one plan per
+    (trace, page size, n_procs).
+    """
+    plans = compiled._batch_plans
+    plan = plans.get(n_procs)
+    if plan is None:
+        runs = segment_runs(compiled, n_procs)
+        skeleton = build_skeleton(compiled, n_procs)
+        plan = plans[n_procs] = BatchPlan(compiled, runs, skeleton)
+    return plan

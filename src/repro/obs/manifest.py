@@ -68,6 +68,7 @@ def config_dict(config) -> Dict[str, object]:
         "gc_at_barriers": config.gc_at_barriers,
         "record_values": config.record_values,
         "use_coherence_index": config.use_coherence_index,
+        "use_batched_kernels": config.use_batched_kernels,
     }
 
 

@@ -145,6 +145,12 @@ class RecordingProbe(Probe):
         from repro.obs.metrics import MetricsRegistry
 
         self.sinks: List[Any] = list(sinks) if sinks else []
+        #: Sinks that stage internally (ColumnarSink) get drained at
+        #: every epoch boundary and on close; resolved once here so the
+        #: epoch path doesn't re-inspect sinks.
+        self._flush_sinks: List[Any] = [
+            sink.flush for sink in self.sinks if hasattr(sink, "flush")
+        ]
         self.metrics = metrics if metrics is not None else MetricsRegistry()
         self._seq = 0
         self._epoch = 0
@@ -179,6 +185,8 @@ class RecordingProbe(Probe):
 
     def advance_epoch(self) -> None:
         self._epoch += 1
+        for flush in self._flush_sinks:
+            flush()
 
     @property
     def epoch(self) -> int:
@@ -199,6 +207,8 @@ class RecordingProbe(Probe):
     # -- lifecycle -----------------------------------------------------------
 
     def close(self) -> None:
+        for flush in self._flush_sinks:
+            flush()
         for sink in self.sinks:
             close = getattr(sink, "close", None)
             if close is not None:

@@ -86,28 +86,54 @@ class ColumnarSink:
         self._epochs = array("q")
         self._procs = array("h")
         self.extras: List[Optional[Dict[str, Any]]] = []
+        #: Events staged since the last flush. ``record`` is on the
+        #: probe's emit path, so it does the cheapest possible thing —
+        #: one list append — and the interning/filtering work runs once
+        #: per epoch (:class:`~repro.obs.probe.RecordingProbe` flushes
+        #: at every epoch boundary and on close).
+        self._staged: List[Dict[str, Any]] = []
 
     def record(self, event: Dict[str, Any]) -> None:
-        kind = event["kind"]
-        code = self.kind_codes.get(kind)
-        if code is None:
-            code = self.kind_codes[kind] = len(self._kind_names)
-            self._kind_names.append(kind)
-        self._kinds.append(code)
-        self._epochs.append(event["epoch"])
-        self._procs.append(event["proc"])
-        extra = {
-            key: value
-            for key, value in event.items()
-            if key not in ("seq", "kind", "epoch", "proc")
-        }
-        self.extras.append(extra or None)
+        self._staged.append(event)
+
+    def flush(self) -> None:
+        """Drain staged events into the typed columns."""
+        staged = self._staged
+        if not staged:
+            return
+        self._staged = []
+        kind_codes = self.kind_codes
+        names = self._kind_names
+        kinds_append = self._kinds.append
+        epochs_append = self._epochs.append
+        procs_append = self._procs.append
+        extras_append = self.extras.append
+        for event in staged:
+            kind = event["kind"]
+            code = kind_codes.get(kind)
+            if code is None:
+                code = kind_codes[kind] = len(names)
+                names.append(kind)
+            kinds_append(code)
+            epochs_append(event["epoch"])
+            procs_append(event["proc"])
+            extra = {
+                key: value
+                for key, value in event.items()
+                if key not in ("seq", "kind", "epoch", "proc")
+            }
+            extras_append(extra or None)
+
+    def close(self) -> None:
+        self.flush()
 
     def __len__(self) -> int:
+        self.flush()
         return len(self._kinds)
 
     def to_events(self) -> List[Dict[str, Any]]:
         """Materialize back into the dict form other sinks record."""
+        self.flush()
         names = self._kind_names
         out: List[Dict[str, Any]] = []
         for index in range(len(self._kinds)):
@@ -124,6 +150,7 @@ class ColumnarSink:
         return out
 
     def counts_by_kind(self) -> Dict[str, int]:
+        self.flush()
         return {
             name: self._kinds.count(code)
             for name, code in sorted(self.kind_codes.items())

@@ -163,6 +163,13 @@ class Protocol(abc.ABC):
     def finish(self) -> None:
         """Called once after the last trace event (default: no-op)."""
 
+    def supports_batched_runs(self) -> bool:
+        """True when the engine may drive this instance with the batched
+        access-run kernels (see :mod:`repro.hb.skeleton`). The eager
+        family has no batched implementation, so the base answer is No
+        and the engine falls back to the per-event interpreter."""
+        return False
+
     # -- miss handling --------------------------------------------------------
 
     def _service_miss(self, proc: ProcId, page: PageId, entry: PageEntry) -> None:

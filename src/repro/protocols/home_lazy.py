@@ -110,3 +110,40 @@ class HomeLazy(LazyProtocol):
         self.lazy_state[proc].pending.pop(page, None)
         home = self.page_manager(page)
         self._fetch_page_copy(proc, page, entry, server=home)
+
+    # -- batched kernels ------------------------------------------------------
+
+    def _post_close(self, proc: ProcId, interval: Interval) -> None:
+        # The skeleton only materializes intervals with diffs, so every
+        # batched close of a real interval flushes (mirrors the
+        # _close_interval override above).
+        self._flush_home(proc, interval)
+
+    def _k_receive(self, proc, grouped, vc_after, pull_kinds):
+        # Home pages are skipped outright: the per-event loop adds their
+        # ids to pending and _on_notice immediately discards them (the
+        # home already holds the flushed data), so the key is transient
+        # within the batch and never observable outside it.
+        state = self.lazy_state[proc]
+        if grouped:
+            pending = state.pending
+            pending_get = pending.get
+            lookup = self.procs[proc].pages.lookup
+            n_procs = self.n_procs
+            valid = PageState.VALID
+            invalid = PageState.INVALID
+            for page, interval_ids in grouped:
+                if page % n_procs == proc:  # this proc is the home
+                    continue
+                page_pending = pending_get(page)
+                if page_pending is None:
+                    pending[page] = page_pending = set()
+                page_pending.update(interval_ids)
+                entry = lookup(page)
+                if entry is not None and entry.state is valid:
+                    entry.state = invalid
+        state.vc = vc_after
+        self._after_notices(proc, pull_kinds)
+
+
+HomeLazy._batched_kernel_class = HomeLazy

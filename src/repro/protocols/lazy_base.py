@@ -780,6 +780,250 @@ class LazyProtocol(Protocol):
         self.retained_diff_bytes -= collected
         self.gc_runs += 1
 
+    # -- batched access-run kernels ---------------------------------------------
+    #
+    # The engine's batched loop (one instruction per access run, see
+    # repro.trace.runs) drives the same public acquire/release/barrier
+    # wrappers, but bind_batch_plan shadows the family hooks with the
+    # _k_* kernels below: they consume the precomputed sync records of
+    # the happened-before skeleton instead of querying the store, and
+    # they process a whole per-page access run per page-table lookup.
+    # Every counter, message, and probe emission matches the per-event
+    # hooks bit for bit — the equivalence suite pins it.
+
+    #: The class whose kernel set a concrete protocol certifies; see
+    #: supports_batched_runs. None means no batched support.
+    _batched_kernel_class = None
+
+    def supports_batched_runs(self) -> bool:
+        kernel = self._batched_kernel_class
+        if kernel is None or not self._indexed:
+            return False
+        cls = type(self)
+        if cls is kernel:
+            return True
+        # A subclass (e.g. a test double) that overrides any per-event
+        # hook the batched path bypasses gets the per-event interpreter,
+        # silently — overridden behaviour is never skipped.
+        return all(
+            getattr(cls, name) is getattr(kernel, name) for name in _BATCHED_GUARDED
+        )
+
+    def bind_batch_plan(self, plan) -> None:
+        """Attach a prebuilt :class:`~repro.hb.skeleton.BatchPlan`.
+
+        Replaces the (empty) per-run store with the skeleton's fully
+        populated one, shares the plan's fetch planner for this config's
+        cost model, and shadows the sync hooks with the record-driven
+        kernels. Called by the engine before its batched replay loop.
+        """
+        self.store = plan.store
+        self._planner = plan.planner_for(self.costs, self.config.skip_overwritten_diffs)
+        self._notices_for_gap = self.store.gap_notices
+        self._next_record = iter(plan.records).__next__
+        self._pending_complete = None
+        self._on_acquire = self._k_acquire
+        self._on_release = self._k_release
+        self._on_barrier_arrive = self._k_barrier_arrive
+        self._on_barrier_complete = self._k_barrier_complete
+
+    def _k_close(self, proc: ProcId, close_rec: tuple) -> None:
+        """Close ``proc``'s interval from its prebuilt record.
+
+        The interval (diffs included) was built by the skeleton pass;
+        here only the run-dependent bookkeeping happens: retention
+        accounting at this run's wire costs, the dirty-registry reset,
+        the clock step, and telemetry.
+        """
+        index, vc, interval = close_rec
+        if interval is not None:
+            costs = self.costs
+            live = self._live_by_page
+            retained = self.retained_diff_bytes
+            for page, diff in interval.diffs.items():
+                wire = diff.wire_bytes(costs)
+                retained += wire
+                page_live = live.get(page)
+                if page_live is None:
+                    live[page] = page_live = []
+                page_live.append((interval, wire))
+            self.retained_diff_bytes = retained
+            if retained > self.peak_retained_diff_bytes:
+                self.peak_retained_diff_bytes = retained
+        dirty_registry = self.procs[proc].pages._dirty
+        if dirty_registry:
+            for entry in dirty_registry.values():
+                entry.clear_dirty()
+            dirty_registry.clear()
+        self.lazy_state[proc].vc = vc
+        self.intervals_closed += 1
+        if self._obs:
+            self._emit_interval_close(proc, index, interval)
+        if interval is not None:
+            self._post_close(proc, interval)
+
+    def _post_close(self, proc: ProcId, interval: Interval) -> None:
+        """Batched-close hook for modifying intervals (HLRC flushes here)."""
+
+    def _k_write_run(self, proc: ProcId, page: PageId, words: Dict[int, int]) -> None:
+        """Apply one write run to a page already touched this span.
+
+        No miss check: between two synchronization points nothing can
+        invalidate the span owner's page (notices arrive only at its own
+        sync operations, and runs end at every global barrier
+        completion), so a page that serviced its miss at the span's
+        first access stays VALID for the rest of the span. ``words``
+        carries the final token per word in first-write order — exactly
+        the dict the per-event writes would accumulate.
+        """
+        table = self.procs[proc].pages
+        entry = table.entry(page)
+        if not entry.dirty_words:
+            entry.make_twin()
+            table.mark_dirty(page, entry)
+        entry.page.words.update(words)
+        entry.dirty_words.update(words)
+        self._note_write(proc, page, entry)
+
+    def _k_full_run(self, proc: ProcId, page: PageId, words: Dict[int, int]) -> None:
+        """A span whose first access to ``page`` is a write: miss check, then write."""
+        table = self.procs[proc].pages
+        entry = table.entry(page)
+        if entry.state is not PageState.VALID:
+            self._service_miss(proc, page, entry)
+        if not entry.dirty_words:
+            entry.make_twin()
+            table.mark_dirty(page, entry)
+        entry.page.words.update(words)
+        entry.dirty_words.update(words)
+        self._note_write(proc, page, entry)
+
+    def _k_receive(
+        self,
+        proc: ProcId,
+        grouped: tuple,
+        vc_after: VectorClock,
+        pull_kinds: Tuple[MessageKind, MessageKind],
+    ) -> None:
+        """Record one prebuilt notice batch at ``proc`` (base: track only).
+
+        ``grouped`` pairs each page with its notice interval ids in
+        first-occurrence order, so ``pending`` gains pages in the exact
+        order the per-event loop would insert them. LI/HLRC/LH override
+        this to fold their per-notice policy into the same loop.
+        """
+        state = self.lazy_state[proc]
+        if grouped:
+            pending = state.pending
+            pending_get = pending.get
+            for page, interval_ids in grouped:
+                page_pending = pending_get(page)
+                if page_pending is None:
+                    pending[page] = page_pending = set()
+                page_pending.update(interval_ids)
+        state.vc = vc_after
+        self._after_notices(proc, pull_kinds)
+
+    def _k_acquire(self, proc: ProcId, lock: LockId) -> None:
+        record = self._next_record()
+        self._k_close(proc, record[1])
+        grantor = record[2]
+        if grantor == proc and self.config.free_local_lock_reacquire:
+            return
+        vc_bytes = self._vc_bytes
+        send = self.network.send
+        send(MessageKind.LOCK_REQUEST, proc, record[3], control_bytes=vc_bytes)
+        send(MessageKind.LOCK_FORWARD, record[3], grantor, control_bytes=vc_bytes)
+        n_notices = record[4]
+        self.notices_sent += n_notices
+        notice_bytes = n_notices * self._notice_bytes_each
+        if self._obs and n_notices:
+            self.probe.emit(
+                "notices_send", proc=grantor, dest=proc, count=n_notices, bytes=notice_bytes
+            )
+            self.probe.emit("notices_apply", proc=proc, count=n_notices)
+        if self.config.piggyback_notices or not n_notices:
+            send(MessageKind.LOCK_GRANT, grantor, proc, control_bytes=vc_bytes + notice_bytes)
+        else:
+            send(MessageKind.LOCK_GRANT, grantor, proc, control_bytes=vc_bytes)
+            send(MessageKind.LOCK_NOTICE, grantor, proc, control_bytes=notice_bytes)
+        self._k_receive(
+            proc,
+            record[5],
+            record[6],
+            (MessageKind.ACQUIRE_DIFF_REQUEST, MessageKind.ACQUIRE_DIFF_REPLY),
+        )
+
+    def _k_release(self, proc: ProcId, lock: LockId) -> None:
+        self._k_close(proc, self._next_record()[1])
+
+    def _k_barrier_arrive(self, proc: ProcId, barrier: BarrierId) -> None:
+        record = self._next_record()
+        self._k_close(proc, record[1])
+        n_notices = record[2]
+        if n_notices >= 0:  # -1 marks the master's own (message-free) arrival
+            self.notices_sent += n_notices
+            master = self.barriers.master
+            vc_bytes = self._vc_bytes
+            notice_bytes = n_notices * self._notice_bytes_each
+            if self._obs and n_notices:
+                self.probe.emit(
+                    "notices_send",
+                    proc=proc,
+                    dest=master,
+                    count=n_notices,
+                    bytes=notice_bytes,
+                )
+            if self.config.piggyback_notices or not n_notices:
+                self.network.send(
+                    MessageKind.BARRIER_ARRIVAL,
+                    proc,
+                    master,
+                    control_bytes=vc_bytes + notice_bytes,
+                )
+            else:
+                self.network.send(
+                    MessageKind.BARRIER_ARRIVAL, proc, master, control_bytes=vc_bytes
+                )
+                self.network.send(
+                    MessageKind.BARRIER_NOTICE, proc, master, control_bytes=notice_bytes
+                )
+        self._pending_complete = record[3]
+
+    def _k_barrier_complete(self, barrier: BarrierId) -> None:
+        per_proc = self._pending_complete
+        self._pending_complete = None
+        master = self.barriers.master
+        vc_bytes = self._vc_bytes
+        obs = self._obs
+        send = self.network.send
+        piggyback = self.config.piggyback_notices
+        pull_kinds = (MessageKind.BARRIER_UPDATE_REQUEST, MessageKind.BARRIER_UPDATE)
+        for proc, (n_notices, grouped, vc_after) in enumerate(per_proc):
+            if obs and n_notices:
+                self.probe.emit(
+                    "notices_send", proc=master, dest=proc, count=n_notices
+                )
+                self.probe.emit("notices_apply", proc=proc, count=n_notices)
+            if proc != master:
+                self.notices_sent += n_notices
+                notice_bytes = n_notices * self._notice_bytes_each
+                if piggyback or not n_notices:
+                    send(
+                        MessageKind.BARRIER_EXIT,
+                        master,
+                        proc,
+                        control_bytes=vc_bytes + notice_bytes,
+                    )
+                else:
+                    send(MessageKind.BARRIER_EXIT, master, proc, control_bytes=vc_bytes)
+                    send(
+                        MessageKind.BARRIER_NOTICE, master, proc, control_bytes=notice_bytes
+                    )
+            self._k_receive(proc, grouped, vc_after, pull_kinds)
+        if self.config.gc_at_barriers:
+            self._collect_garbage()
+
     def _collect_garbage_reference(self) -> None:
         min_entries = [
             min(state.vc[r] for state in self.lazy_state) for r in range(self.n_procs)
@@ -814,3 +1058,26 @@ class LazyProtocol(Protocol):
                 survivors.append((interval, page, wire))
         self._live_diffs = survivors
         self.gc_runs += 1
+
+
+#: Per-event hooks and kernels a batched replay bypasses or substitutes.
+#: supports_batched_runs compares these against the certified kernel
+#: class so subclass overrides force the per-event fallback.
+_BATCHED_GUARDED = (
+    "write",
+    "_close_interval",
+    "_receive_notices",
+    "_on_notice",
+    "_after_notices",
+    "_on_acquire",
+    "_on_release",
+    "_on_barrier_arrive",
+    "_on_barrier_complete",
+    "_k_close",
+    "_k_receive",
+    "_k_write_run",
+    "_k_full_run",
+    "_post_close",
+)
+
+LazyProtocol._batched_kernel_class = LazyProtocol

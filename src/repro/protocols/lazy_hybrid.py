@@ -122,3 +122,47 @@ class LazyHybrid(LazyProtocol):
                 policy.used_since_pull = True
                 self.promotions += 1
         super()._handle_miss(proc, page, entry)
+
+    # -- batched kernels ------------------------------------------------------
+
+    def _k_write_run(self, proc, page, words):
+        self._page_policy(proc, page).used_since_pull = True
+        super()._k_write_run(proc, page, words)
+
+    def _k_full_run(self, proc, page, words):
+        self._page_policy(proc, page).used_since_pull = True
+        super()._k_full_run(proc, page, words)
+
+    def _k_receive(self, proc, grouped, vc_after, pull_kinds):
+        # Per-page policy decisions are idempotent within a batch (a
+        # demote flips update_mode off, making every later notice for
+        # the page a no-op), so one pass per page replays the per-notice
+        # hook exactly.
+        state = self.lazy_state[proc]
+        if grouped:
+            pending = state.pending
+            pending_get = pending.get
+            lookup = self.procs[proc].pages.lookup
+            missing = PageState.MISSING
+            valid = PageState.VALID
+            invalid = PageState.INVALID
+            for page, interval_ids in grouped:
+                page_pending = pending_get(page)
+                if page_pending is None:
+                    pending[page] = page_pending = set()
+                page_pending.update(interval_ids)
+                entry = lookup(page)
+                if entry is None or entry.state is missing:
+                    continue
+                policy = self._page_policy(proc, page)
+                if policy.update_mode and not policy.used_since_pull:
+                    policy.update_mode = False
+                    policy.miss_streak = 0
+                    self.demotions += 1
+                if not policy.update_mode and entry.state is valid:
+                    entry.state = invalid
+        state.vc = vc_after
+        self._after_notices(proc, pull_kinds)
+
+
+LazyHybrid._batched_kernel_class = LazyHybrid

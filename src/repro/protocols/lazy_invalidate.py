@@ -69,3 +69,27 @@ class LazyInvalidate(LazyProtocol):
 
     def _after_notices(self, proc: ProcId, pull_kinds: Tuple[MessageKind, MessageKind]) -> None:
         """LI defers all data movement to the next access miss."""
+
+    def _k_receive(self, proc, grouped, vc_after, pull_kinds):
+        # Batched twin of the inlined loop above: one pending/page-table
+        # operation per page instead of per notice.
+        state = self.lazy_state[proc]
+        if grouped:
+            pending = state.pending
+            pending_get = pending.get
+            entries_get = self.procs[proc].pages._entries.get
+            valid = PageState.VALID
+            invalid = PageState.INVALID
+            for page, interval_ids in grouped:
+                page_pending = pending_get(page)
+                if page_pending is None:
+                    pending[page] = page_pending = set()
+                page_pending.update(interval_ids)
+                entry = entries_get(page)
+                if entry is not None and entry.state is valid:
+                    entry.state = invalid
+        state.vc = vc_after
+        self._after_notices(proc, pull_kinds)
+
+
+LazyInvalidate._batched_kernel_class = LazyInvalidate

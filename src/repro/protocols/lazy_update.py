@@ -41,3 +41,8 @@ class LazyUpdate(LazyProtocol):
         if cached:
             h = self._collect_diffs(proc, cached, pull_kinds[0], pull_kinds[1])
             self.pull_h_histogram[h] = self.pull_h_histogram.get(h, 0) + 1
+
+
+# LU's only divergence from the base is _after_notices, which the batched
+# _k_receive calls unchanged — the base kernel set is already correct.
+LazyUpdate._batched_kernel_class = LazyUpdate

@@ -99,6 +99,14 @@ class Engine:
             t0 = time.perf_counter()
             compiled = self.trace.compiled(self.config.page_size)
             timings["compile_s"] = time.perf_counter() - t0
+        config = self.config
+        if (
+            config.use_batched_kernels
+            and config.use_coherence_index
+            and not config.record_values
+            and self.protocol.supports_batched_runs()
+        ):
+            return self._run_batched(compiled, timings)
         protocol = self.protocol
         record = self.config.record_values
         read_values: Optional[List[Tuple[int, List[int]]]] = [] if record else None
@@ -152,6 +160,66 @@ class Engine:
                 elapsed,
             )
         return self._result(read_values, timings)
+
+    def _run_batched(self, compiled: CompiledTrace, timings: Dict[str, float]) -> SimulationResult:
+        """Replay via the access-run program and the batched kernels.
+
+        One instruction per contiguous per-page access run (see
+        :mod:`repro.trace.runs`); synchronization replays from the
+        precomputed happened-before skeleton. Reached only when the
+        config and the protocol instance both certify support — results
+        are bit-identical to :meth:`run`'s per-event loop, which remains
+        available behind ``use_batched_kernels=False``.
+        """
+        from repro.hb.skeleton import batch_plan
+        from repro.trace.runs import (
+            R_ACQUIRE,
+            R_BARRIER,
+            R_FULL,
+            R_RELEASE,
+            R_TOUCH,
+            R_WRITE,
+        )
+
+        t0 = time.perf_counter()
+        plan = batch_plan(compiled, self.trace.n_procs)
+        timings["batch_plan_s"] = time.perf_counter() - t0
+        protocol = self.protocol
+        protocol.bind_batch_plan(plan)
+        read_touch = protocol.read_touch
+        write_run = protocol._k_write_run
+        full_run = protocol._k_full_run
+        acquire = protocol.acquire
+        release = protocol.release
+        barrier = protocol.barrier
+
+        t0 = time.perf_counter()
+        for ins in plan.runs.instructions():
+            kind = ins[0]
+            if kind == R_TOUCH:
+                read_touch(ins[1], ins[2])
+            elif kind == R_WRITE:
+                write_run(ins[1], ins[2], ins[3])
+            elif kind == R_FULL:
+                full_run(ins[1], ins[2], ins[3])
+            elif kind == R_ACQUIRE:
+                acquire(ins[1], ins[2])
+            elif kind == R_RELEASE:
+                release(ins[1], ins[2])
+            else:  # R_BARRIER
+                barrier(ins[1], ins[2])
+
+        protocol.finish()
+        timings["simulate_s"] = elapsed = time.perf_counter() - t0
+        if logger.isEnabledFor(logging.DEBUG):
+            logger.debug(
+                "replayed %s/%s (batched): %d events in %.3fs",
+                self.trace.meta.app,
+                protocol.name,
+                len(self.trace),
+                elapsed,
+            )
+        return self._result(None, timings)
 
     def run_reference(self) -> SimulationResult:
         """The original event-by-event interpreter, kept as the baseline.

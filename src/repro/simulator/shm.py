@@ -1,0 +1,119 @@
+"""Zero-copy trace sharing for parallel sweeps.
+
+A :class:`~repro.trace.stream.TraceStream` is four parallel typed-array
+columns plus a small metadata record. Shipping it to a process pool by
+pickling copies every column once per worker (and once more on the pipe);
+:class:`SharedTraceColumns` instead packs the columns into **one**
+:class:`multiprocessing.shared_memory.SharedMemory` segment, and workers
+attach read-only :class:`memoryview` slices over the same physical pages
+— zero copies, regardless of worker count.
+
+The parent owns the segment's lifetime: it creates it, hands the compact
+:attr:`~SharedTraceColumns.descriptor` to the pool initializer, and
+closes + unlinks it when the sweep ends (normally or not — the caller
+wraps the pool in ``try/finally``). Workers only ever attach and close;
+they never unlink. Both operations are idempotent, so teardown after a
+worker crash or a double ``close()`` is safe.
+
+``TraceStream`` never mutates its columns after construction and the
+engine treats traces as read-only, so sharing the buffers is sound; the
+attached stream behaves identically (``memoryview`` supports the len /
+iteration / ``tobytes`` operations the trace and its digest use).
+"""
+
+from __future__ import annotations
+
+import logging
+from array import array
+from multiprocessing import shared_memory
+from typing import List, Tuple
+
+from repro.trace.stream import TraceStream
+
+logger = logging.getLogger(__name__)
+
+#: Column typecodes in pack order — must match ``TraceStream.columns()``
+#: (event codes, procs, values, sizes).
+_COLUMN_TYPECODES = ("b", "h", "q", "i")
+
+
+class SharedTraceColumns:
+    """One shared-memory segment holding a trace's column data.
+
+    Layout: the four columns back to back, each aligned to its item
+    size. :attr:`descriptor` is everything a worker needs to attach —
+    ``(segment_name, meta, ((offset, count), ...))`` — and is tiny, so
+    passing it through the pool initializer costs nothing.
+    """
+
+    def __init__(self, trace: TraceStream):
+        meta = trace.meta
+        columns = trace.columns()
+        layout: List[Tuple[int, int]] = []
+        offset = 0
+        for column in columns:
+            itemsize = column.itemsize
+            offset = (offset + itemsize - 1) // itemsize * itemsize
+            layout.append((offset, len(column)))
+            offset += len(column) * itemsize
+        self._shm = shared_memory.SharedMemory(create=True, size=max(offset, 1))
+        buf = self._shm.buf
+        for (start, count), column in zip(layout, columns):
+            nbytes = count * column.itemsize
+            buf[start : start + nbytes] = memoryview(column).cast("B")
+        self.descriptor = (self._shm.name, meta, tuple(layout))
+        self.nbytes = offset
+        self._closed = False
+        self._unlinked = False
+
+    @property
+    def name(self) -> str:
+        return self._shm.name
+
+    def close(self) -> None:
+        """Release this process's mapping (idempotent)."""
+        if not self._closed:
+            self._closed = True
+            self._shm.close()
+
+    def unlink(self) -> None:
+        """Destroy the segment (idempotent; owner only).
+
+        A missing segment is tolerated so teardown stays safe even if
+        something else (a resource tracker cleaning up after a crashed
+        worker, a prior unlink) removed it first.
+        """
+        if not self._unlinked:
+            self._unlinked = True
+            try:
+                self._shm.unlink()
+            except FileNotFoundError:
+                pass
+
+    def __enter__(self) -> "SharedTraceColumns":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+        self.unlink()
+
+    def __repr__(self) -> str:
+        return f"SharedTraceColumns({self._shm.name}, {self.nbytes} bytes)"
+
+
+def attach_trace(descriptor) -> Tuple[shared_memory.SharedMemory, TraceStream]:
+    """Attach to a parent's segment and rebuild the trace over it.
+
+    Returns the segment handle together with the stream; the caller must
+    keep the handle alive as long as the stream is used (the column
+    views borrow its buffer) and ``close()`` it when done — never
+    ``unlink()``, which belongs to the creating process.
+    """
+    name, meta, layout = descriptor
+    shm = shared_memory.SharedMemory(name=name)
+    buf = memoryview(shm.buf)
+    views = []
+    for (start, count), typecode in zip(layout, _COLUMN_TYPECODES):
+        nbytes = count * array(typecode).itemsize
+        views.append(buf[start : start + nbytes].cast(typecode))
+    return shm, TraceStream.from_columns(meta, *views)

@@ -25,8 +25,10 @@ the grid after the fact.
 from __future__ import annotations
 
 import logging
+import os
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
+from multiprocessing import shared_memory
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.obs.metrics import merge_metrics
@@ -113,19 +115,36 @@ class SweepResult:
 
 # -- parallel executor machinery -------------------------------------------
 #
-# Workers receive the trace and base config once, through the pool
-# initializer; each work unit is then just a (protocol, page_size) pair.
-# Within a worker the trace's compiled-form memo amortizes page splits
-# across every cell it processes at the same page size.
+# Workers receive the trace once, through the pool initializer — by
+# default as attached views over the parent's shared-memory segment
+# (zero copies, see :mod:`repro.simulator.shm`), or pickled whole if the
+# shared path is unavailable. Each work unit is then just a
+# (protocol, page_size) pair. Within a worker the trace's compiled-form
+# memo amortizes page splits across every cell it processes at the same
+# page size.
 
 _worker_trace: Optional[TraceStream] = None
 _worker_config: Optional[SimConfig] = None
 _worker_metrics: bool = False
+_worker_shm: Optional[shared_memory.SharedMemory] = None
 
 
 def _init_sweep_worker(trace: TraceStream, config: SimConfig, metrics: bool) -> None:
     global _worker_trace, _worker_config, _worker_metrics
     _worker_trace = trace
+    _worker_config = config
+    _worker_metrics = metrics
+
+
+def _init_sweep_worker_shm(descriptor, config: SimConfig, metrics: bool) -> None:
+    # The handle must outlive the stream (its columns borrow the
+    # buffer), so it parks in a module global for the worker's lifetime;
+    # worker teardown unmaps it implicitly. Workers never unlink — the
+    # segment belongs to the parent.
+    from repro.simulator.shm import attach_trace
+
+    global _worker_trace, _worker_config, _worker_metrics, _worker_shm
+    _worker_shm, _worker_trace = attach_trace(descriptor)
     _worker_config = config
     _worker_metrics = metrics
 
@@ -164,6 +183,15 @@ def run_sweep(
     page_sizes = list(page_sizes) if page_sizes else list(PAPER_PAGE_SIZES)
     base = config or SimConfig(n_procs=trace.n_procs)
     sweep = SweepResult(app=trace.meta.app, protocols=protocols, page_sizes=page_sizes)
+    if jobs is not None and jobs > 1:
+        # More workers than cores only adds scheduling churn (each cell
+        # is pure CPU), so oversubscribed requests are clamped.
+        cpus = os.cpu_count() or 1
+        if jobs > cpus:
+            logger.info(
+                "sweep: clamping jobs=%d to %d (os.cpu_count())", jobs, cpus
+            )
+            jobs = cpus
     logger.info(
         "sweep %s: %d protocols x %d page sizes%s%s",
         trace.meta.app,
@@ -177,13 +205,40 @@ def run_sweep(
         # sizes (cells at one page size are the most similar in cost).
         cells = [(p, s) for s in page_sizes for p in protocols]
         collected: Dict[Tuple[str, int], SimulationResult] = {}
-        with ProcessPoolExecutor(
-            max_workers=jobs,
-            initializer=_init_sweep_worker,
-            initargs=(trace, base, metrics),
-        ) as pool:
-            for protocol, page_size, result in pool.map(_run_sweep_cell, cells):
-                collected[(protocol, page_size)] = result
+        shared = None
+        try:
+            from repro.simulator.shm import SharedTraceColumns
+
+            shared = SharedTraceColumns(trace)
+            initializer = _init_sweep_worker_shm
+            initargs: tuple = (shared.descriptor, base, metrics)
+        except Exception:
+            # Shared memory can be unavailable (tiny /dev/shm, exotic
+            # trace types without columns); the sweep still runs, each
+            # worker just receives a pickled copy of the trace.
+            logger.warning(
+                "sweep: shared-memory trace setup failed; "
+                "falling back to per-worker pickling",
+                exc_info=True,
+            )
+            shared = None
+            initializer = _init_sweep_worker
+            initargs = (trace, base, metrics)
+        try:
+            with ProcessPoolExecutor(
+                max_workers=jobs,
+                initializer=initializer,
+                initargs=initargs,
+            ) as pool:
+                for protocol, page_size, result in pool.map(_run_sweep_cell, cells):
+                    collected[(protocol, page_size)] = result
+        finally:
+            # Unconditional teardown — also on worker crashes — so no
+            # run leaves a segment behind for the resource tracker to
+            # reclaim (and warn about) at interpreter exit.
+            if shared is not None:
+                shared.close()
+                shared.unlink()
         # Deterministic merge: fill the grid in the serial path's
         # protocol-major order regardless of completion order.
         for protocol in protocols:

@@ -54,13 +54,17 @@ Chunk = Tuple[int, Tuple[int, ...]]
 class CompiledTrace:
     """One trace lowered to instruction tuples for one page size."""
 
-    __slots__ = ("page_size", "n_procs", "n_events", "ops")
+    __slots__ = ("page_size", "n_procs", "n_events", "ops", "_batch_plans")
 
     def __init__(self, page_size: int, n_procs: int, n_events: int, ops: List[tuple]):
         self.page_size = page_size
         self.n_procs = n_procs
         self.n_events = n_events
         self.ops = ops
+        #: Memoized batch plans keyed by simulated n_procs (run program +
+        #: happened-before skeleton, see :mod:`repro.hb.skeleton`) —
+        #: shared by every protocol replay of this compiled trace.
+        self._batch_plans: Dict[int, object] = {}
 
     def __len__(self) -> int:
         return len(self.ops)

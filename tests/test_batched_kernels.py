@@ -1,0 +1,227 @@
+"""Equivalence suite for the batched access-run kernels.
+
+The acceptance bar of the batched-kernel overhaul: with
+``use_batched_kernels=True`` (the default) every accounting field, every
+counter, and every emitted telemetry event must be bit-identical to the
+per-event interpreters, which survive behind
+``use_batched_kernels=False`` — across all lazy protocols, all apps, the
+full sweep grid, and every protocol-option ablation.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.config import SimConfig
+from repro.obs.probe import RecordingProbe
+from repro.obs.sinks import MemorySink
+from repro.protocols.registry import protocol_class
+from repro.simulator.engine import Engine, simulate
+from repro.simulator.sweep import run_sweep
+from repro.trace.events import Event
+from tests.conftest import build_trace, lock_chain_trace, small_trace
+from tests.test_fastpath_equivalence import result_fields
+
+LAZY_PROTOCOLS = ("LI", "LU", "LH", "HLRC")
+EAGER_PROTOCOLS = ("EI", "EU", "EW")
+
+
+def run_batched_and_reference(trace, protocol, **options):
+    base = SimConfig(n_procs=trace.n_procs, **options)
+    batched = Engine(trace, base.with_options(use_batched_kernels=True), protocol).run()
+    reference = Engine(
+        trace, base.with_options(use_batched_kernels=False), protocol
+    ).run()
+    return batched, reference
+
+
+class TestBatchedEquivalence:
+    @pytest.mark.parametrize("protocol", LAZY_PROTOCOLS)
+    @pytest.mark.parametrize("page_size", [512, 2048])
+    def test_apps_bit_identical(self, app_trace, protocol, page_size):
+        batched, reference = run_batched_and_reference(
+            app_trace, protocol, page_size=page_size
+        )
+        assert result_fields(batched) == result_fields(reference)
+
+    @pytest.mark.parametrize("protocol", LAZY_PROTOCOLS)
+    def test_lock_chain_bit_identical(self, protocol):
+        trace = lock_chain_trace(n_procs=4, rounds=3)
+        batched, reference = run_batched_and_reference(trace, protocol, page_size=512)
+        assert result_fields(batched) == result_fields(reference)
+
+    @pytest.mark.parametrize(
+        "options",
+        [
+            {"free_local_lock_reacquire": False},
+            {"piggyback_notices": False},
+            {"gc_at_barriers": True},
+            {"skip_overwritten_diffs": False},
+            {"diff_to_invalid_copy": False},
+        ],
+        ids=lambda options: next(iter(options)),
+    )
+    @pytest.mark.parametrize("protocol", LAZY_PROTOCOLS)
+    def test_config_ablations_bit_identical(self, water_trace, protocol, options):
+        batched, reference = run_batched_and_reference(
+            water_trace, protocol, page_size=1024, **options
+        )
+        assert result_fields(batched) == result_fields(reference)
+
+    def test_full_sweep_grid_bit_identical(self, water_trace):
+        base = SimConfig(n_procs=water_trace.n_procs)
+        batched = run_sweep(
+            water_trace, config=base.with_options(use_batched_kernels=True)
+        )
+        reference = run_sweep(
+            water_trace, config=base.with_options(use_batched_kernels=False)
+        )
+        assert batched.grid.keys() == reference.grid.keys()
+        for key in batched.grid:
+            assert result_fields(batched.grid[key]) == result_fields(
+                reference.grid[key]
+            ), key
+
+
+class TestBatchedTelemetry:
+    @pytest.mark.parametrize("protocol", LAZY_PROTOCOLS)
+    def test_event_streams_identical(self, water_trace, protocol):
+        streams = []
+        for flag in (True, False):
+            sink = MemorySink()
+            simulate(
+                water_trace,
+                protocol,
+                page_size=1024,
+                probe=RecordingProbe(sinks=[sink]),
+                use_batched_kernels=flag,
+            )
+            streams.append(sink.events)
+        # Full dict equality: kinds, fields, seq numbering, and epochs.
+        assert streams[0] == streams[1]
+
+    def test_metrics_snapshots_identical(self, water_trace):
+        snapshots = []
+        for flag in (True, False):
+            result = simulate(
+                water_trace,
+                "LI",
+                page_size=1024,
+                probe=RecordingProbe(),
+                use_batched_kernels=flag,
+            )
+            snapshots.append(result.metrics)
+        assert snapshots[0] == snapshots[1]
+
+
+class TestBatchedGate:
+    @pytest.mark.parametrize("protocol", EAGER_PROTOCOLS)
+    def test_eager_family_reports_no_support(self, protocol):
+        instance = protocol_class(protocol)(SimConfig(n_procs=4))
+        assert not instance.supports_batched_runs()
+
+    @pytest.mark.parametrize("protocol", EAGER_PROTOCOLS)
+    def test_eager_family_unaffected_by_flag(self, water_trace, protocol):
+        batched, reference = run_batched_and_reference(
+            water_trace, protocol, page_size=1024
+        )
+        assert result_fields(batched) == result_fields(reference)
+
+    def test_reference_index_config_reports_no_support(self):
+        cls = protocol_class("LI")
+        instance = cls(SimConfig(n_procs=4, use_coherence_index=False))
+        assert not instance.supports_batched_runs()
+
+    def test_lazy_family_reports_support(self):
+        for protocol in LAZY_PROTOCOLS:
+            instance = protocol_class(protocol)(SimConfig(n_procs=4))
+            assert instance.supports_batched_runs(), protocol
+
+    def test_hook_overriding_subclass_falls_back(self, water_trace):
+        from repro.protocols.lazy_invalidate import LazyInvalidate
+
+        seen = []
+
+        class Doubled(LazyInvalidate):
+            def _on_notice(self, proc, notice):
+                seen.append((proc, notice.page))
+                super()._on_notice(proc, notice)
+
+        instance = Doubled(SimConfig(n_procs=4))
+        assert not instance.supports_batched_runs()
+        # The engine silently takes the per-event path, so the override
+        # still observes every notice and the results match stock LI.
+        config = SimConfig(n_procs=water_trace.n_procs, page_size=1024)
+        doubled = Engine(water_trace, config, Doubled).run()
+        stock = Engine(water_trace, config, "LI").run()
+        assert seen
+        assert result_fields(doubled) == result_fields(stock)
+
+    def test_record_values_forces_per_event(self, water_trace):
+        # The batched path cannot record read values (page contents are
+        # only span-final); the gate must route around it.
+        config = SimConfig(
+            n_procs=water_trace.n_procs,
+            page_size=1024,
+            record_values=True,
+            use_batched_kernels=True,
+        )
+        result = Engine(water_trace, config, "LI").run()
+        assert result.read_values  # per-event path ran and recorded
+
+    def test_manifest_records_the_flag(self, water_trace):
+        on = simulate(water_trace, "LI", page_size=1024, use_batched_kernels=True)
+        off = simulate(water_trace, "LI", page_size=1024, use_batched_kernels=False)
+        assert on.manifest["config"]["use_batched_kernels"] is True
+        assert off.manifest["config"]["use_batched_kernels"] is False
+
+
+class TestBatchedEdgeTraces:
+    def test_sync_only_trace(self):
+        # Every interval is empty (IntervalStore.add_empty path).
+        events = []
+        for proc in range(3):
+            events += [Event.acquire(proc, 0), Event.release(proc, 0)]
+        events += [Event.at_barrier(proc, 0) for proc in range(3)]
+        trace = build_trace(3, events)
+        for protocol in LAZY_PROTOCOLS:
+            batched, reference = run_batched_and_reference(
+                trace, protocol, page_size=512
+            )
+            assert result_fields(batched) == result_fields(reference)
+
+    def test_no_sync_trace(self):
+        # No sync operations at all: nothing ever closes, nothing is
+        # exchanged, and the batched path consumes zero sync records.
+        events = [Event.write(0, 64), Event.read(1, 64), Event.write(1, 128)]
+        trace = build_trace(2, events)
+        for protocol in LAZY_PROTOCOLS:
+            batched, reference = run_batched_and_reference(
+                trace, protocol, page_size=512
+            )
+            assert result_fields(batched) == result_fields(reference)
+
+    def test_page_straddling_writes(self):
+        events = [
+            Event.acquire(0, 0),
+            Event.write(0, 500, 1050),  # crosses three page boundaries at 512
+            Event.release(0, 0),
+            Event.acquire(1, 0),
+            Event.read(1, 508, 8),
+            Event.write(1, 1020, 8),
+            Event.release(1, 0),
+        ]
+        trace = build_trace(2, events)
+        for protocol in LAZY_PROTOCOLS:
+            batched, reference = run_batched_and_reference(
+                trace, protocol, page_size=512
+            )
+            assert result_fields(batched) == result_fields(reference)
+
+    def test_run_once_guard_still_enforced(self, water_trace):
+        from repro.common.errors import SimulatorError
+
+        engine = Engine(water_trace, SimConfig(n_procs=water_trace.n_procs), "LI")
+        engine.run()
+        with pytest.raises(SimulatorError):
+            engine.run()

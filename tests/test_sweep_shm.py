@@ -1,0 +1,221 @@
+"""Shared-memory trace sharing: lifecycle, crash-safety, and sweeps.
+
+The parallel sweep's workers attach the parent's single shared-memory
+segment instead of unpickling a private trace copy. These tests pin the
+lifecycle contract: idempotent teardown, unconditional unlink even when
+a worker dies mid-sweep, no resource-tracker leaks at interpreter exit,
+and the jobs clamp.
+
+The host running the suite may have a single core; tests that need a
+real pool monkeypatch ``os.cpu_count`` (the start method is fork on
+Linux, so workers inherit the patch).
+"""
+
+from __future__ import annotations
+
+import logging
+import multiprocessing
+import os
+import subprocess
+import sys
+from multiprocessing import shared_memory
+
+import pytest
+
+from repro.simulator import sweep as sweep_module
+from repro.simulator.shm import SharedTraceColumns, attach_trace
+from repro.simulator.sweep import run_sweep
+from tests.conftest import small_trace
+from tests.test_fastpath_equivalence import result_fields
+
+NEEDS_FORK = pytest.mark.skipif(
+    multiprocessing.get_start_method() != "fork",
+    reason="pool tests monkeypatch globals, which only fork propagates",
+)
+
+
+@pytest.fixture(autouse=True)
+def _propagate_repro_logs():
+    # logging_setup() (exercised by the CLI tests) turns off propagation
+    # on the "repro" logger tree, which would hide sweep log records
+    # from caplog's root handler when the whole suite runs in one
+    # process. Restore propagation for these tests.
+    logger = logging.getLogger("repro")
+    previous = logger.propagate
+    logger.propagate = True
+    yield
+    logger.propagate = previous
+
+
+@pytest.fixture
+def many_cores(monkeypatch):
+    monkeypatch.setattr(os, "cpu_count", lambda: 4)
+
+
+def _crash_cell(cell):
+    # Module-level so pool.map can pickle it by qualified name; dies hard
+    # enough to break the pool (no exception, no cleanup).
+    os._exit(13)
+
+
+class TestSharedTraceColumns:
+    def test_attach_reconstructs_the_trace(self):
+        trace = small_trace("water")
+        shared = SharedTraceColumns(trace)
+        try:
+            shm, attached = attach_trace(shared.descriptor)
+            try:
+                assert len(attached) == len(trace)
+                assert attached.n_procs == trace.n_procs
+                assert attached.digest() == trace.digest()
+                original = [bytes(memoryview(c).cast("B")) for c in trace.columns()]
+                views = [bytes(memoryview(c).cast("B")) for c in attached.columns()]
+                assert views == original
+            finally:
+                del attached  # release borrowed views before closing
+                shm.close()
+        finally:
+            shared.close()
+            shared.unlink()
+
+    def test_descriptor_is_small(self):
+        trace = small_trace("water")
+        with SharedTraceColumns(trace) as shared:
+            import pickle
+
+            assert len(pickle.dumps(shared.descriptor)) < 2048
+
+    def test_close_and_unlink_are_idempotent(self):
+        shared = SharedTraceColumns(small_trace("water"))
+        shared.close()
+        shared.close()
+        shared.unlink()
+        shared.unlink()
+
+    def test_unlink_tolerates_missing_segment(self):
+        shared = SharedTraceColumns(small_trace("water"))
+        # Something else removed the segment first (e.g. the resource
+        # tracker after a crashed run).
+        shared_memory.SharedMemory(name=shared.name).unlink()
+        shared.close()
+        shared.unlink()
+
+    def test_unlink_destroys_the_segment(self):
+        shared = SharedTraceColumns(small_trace("water"))
+        name = shared.name
+        shared.close()
+        shared.unlink()
+        with pytest.raises(FileNotFoundError):
+            shared_memory.SharedMemory(name=name)
+
+
+@NEEDS_FORK
+class TestParallelSweepShm:
+    def test_shm_sweep_matches_serial(self, water_trace, many_cores):
+        serial = run_sweep(water_trace, page_sizes=[512, 1024])
+        parallel = run_sweep(water_trace, page_sizes=[512, 1024], jobs=3)
+        assert serial.grid.keys() == parallel.grid.keys()
+        for key in serial.grid:
+            assert result_fields(serial.grid[key]) == result_fields(
+                parallel.grid[key]
+            ), key
+
+    def test_sweep_unlinks_segment_on_success(self, water_trace, many_cores, monkeypatch):
+        created = []
+
+        class Tracked(SharedTraceColumns):
+            def __init__(self, trace):
+                super().__init__(trace)
+                created.append(self)
+
+        monkeypatch.setattr("repro.simulator.shm.SharedTraceColumns", Tracked)
+        run_sweep(water_trace, protocols=["LI"], page_sizes=[512], jobs=2)
+        assert len(created) == 1
+        assert created[0]._closed and created[0]._unlinked
+        with pytest.raises(FileNotFoundError):
+            shared_memory.SharedMemory(name=created[0].name)
+
+    def test_sweep_unlinks_segment_after_worker_crash(
+        self, water_trace, many_cores, monkeypatch
+    ):
+        created = []
+
+        class Tracked(SharedTraceColumns):
+            def __init__(self, trace):
+                super().__init__(trace)
+                created.append(self)
+
+        monkeypatch.setattr("repro.simulator.shm.SharedTraceColumns", Tracked)
+        monkeypatch.setattr(sweep_module, "_run_sweep_cell", _crash_cell)
+        from concurrent.futures.process import BrokenProcessPool
+
+        with pytest.raises(BrokenProcessPool):
+            run_sweep(water_trace, protocols=["LI"], page_sizes=[512], jobs=2)
+        assert len(created) == 1
+        assert created[0]._closed and created[0]._unlinked
+        with pytest.raises(FileNotFoundError):
+            shared_memory.SharedMemory(name=created[0].name)
+
+    def test_shm_failure_falls_back_to_pickling(
+        self, water_trace, many_cores, monkeypatch, caplog
+    ):
+        def boom(trace):
+            raise OSError("no shared memory here")
+
+        monkeypatch.setattr("repro.simulator.shm.SharedTraceColumns", boom)
+        with caplog.at_level(logging.WARNING, logger="repro.simulator.sweep"):
+            parallel = run_sweep(water_trace, protocols=["LI"], page_sizes=[512], jobs=2)
+        assert any("falling back" in record.getMessage() for record in caplog.records)
+        serial = run_sweep(water_trace, protocols=["LI"], page_sizes=[512])
+        assert result_fields(parallel.grid[("LI", 512)]) == result_fields(
+            serial.grid[("LI", 512)]
+        )
+
+    def test_no_resource_tracker_leak_warnings(self, tmp_path):
+        # A clean interpreter runs a parallel sweep and exits; the
+        # resource tracker must have nothing to complain about.
+        script = tmp_path / "sweep_once.py"
+        script.write_text(
+            "import os\n"
+            "os.cpu_count = lambda: 4\n"
+            "from tests.conftest import small_trace\n"
+            "from repro.simulator.sweep import run_sweep\n"
+            "sweep = run_sweep(small_trace('water'), protocols=['LI', 'LU'],\n"
+            "                  page_sizes=[512], jobs=2)\n"
+            "print(len(sweep.grid))\n"
+        )
+        env = dict(os.environ)
+        repo_root = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+        env["PYTHONPATH"] = os.pathsep.join(
+            [os.path.join(repo_root, "src"), repo_root]
+        )
+        proc = subprocess.run(
+            [sys.executable, str(script)],
+            capture_output=True,
+            text=True,
+            env=env,
+            timeout=300,
+        )
+        assert proc.returncode == 0, proc.stderr
+        assert proc.stdout.strip() == "2"
+        assert "leaked" not in proc.stderr.lower()
+
+
+class TestJobsClamp:
+    def test_jobs_clamped_to_cpu_count(self, water_trace, monkeypatch, caplog):
+        monkeypatch.setattr(os, "cpu_count", lambda: 1)
+        with caplog.at_level(logging.INFO, logger="repro.simulator.sweep"):
+            sweep = run_sweep(water_trace, protocols=["LI"], page_sizes=[512], jobs=8)
+        assert any("clamping jobs=8 to 1" in record.getMessage()
+                   for record in caplog.records)
+        # Clamped to 1 -> the serial path ran; the grid is still complete.
+        assert set(sweep.grid) == {("LI", 512)}
+
+    @NEEDS_FORK
+    def test_clamp_keeps_pool_when_cores_allow(self, water_trace, monkeypatch, caplog):
+        monkeypatch.setattr(os, "cpu_count", lambda: 2)
+        with caplog.at_level(logging.INFO, logger="repro.simulator.sweep"):
+            sweep = run_sweep(water_trace, protocols=["LI"], page_sizes=[512], jobs=5)
+        assert any("clamping jobs=5 to 2" in record.getMessage()
+                   for record in caplog.records)
+        assert set(sweep.grid) == {("LI", 512)}
