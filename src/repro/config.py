@@ -9,11 +9,19 @@ paper leaves as design choices (the diff-to-invalid-copy optimization of
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass, field, replace
 
 from repro.common.errors import ConfigError
 from repro.common.types import is_power_of_two
 from repro.network.costs import CostModel
+
+
+def _default_batched_kernels() -> bool:
+    """Batched kernels default on; REPRO_BATCHED_KERNELS=0 flips the
+    whole process to the per-event reference interpreters (used by the
+    CI leg that keeps them exercised)."""
+    return os.environ.get("REPRO_BATCHED_KERNELS", "1") != "0"
 
 #: Page sizes swept in the paper's figures (bytes).
 PAPER_PAGE_SIZES = (512, 1024, 2048, 4096, 8192)
@@ -64,16 +72,21 @@ class SimConfig:
             miss. Results are bit-identical either way — the reference
             scan survives behind ``False`` as the equivalence baseline,
             mirroring ``Engine.run_reference``.
-        use_batched_kernels: replay the lazy protocols with the batched
-            access-run kernels (one page-table/planner operation per
+        use_batched_kernels: replay certified protocols with the batched
+            access-run kernels instead of interpreting every event. The
+            lazy family runs one page-table/planner operation per
             contiguous per-page access run, driven by the precomputed
-            happened-before skeleton — see :mod:`repro.hb.skeleton`)
-            instead of interpreting every event. Applies only when the
-            coherence index is on, ``record_values`` is off, and the
-            protocol supports it (the eager family and hook-overriding
-            subclasses fall back to per-event silently). Results are
-            bit-identical either way; the per-event interpreters remain
-            behind ``False`` as the equivalence baseline.
+            happened-before skeleton; the eager family (EI/EU/EW)
+            replays a precomputed per-policy tape of misses, write
+            faults, and flush outcomes — see :mod:`repro.hb.skeleton`
+            for both. Applies only when ``record_values`` is off and the
+            protocol certifies support (the lazy kernels additionally
+            need the coherence index on; hook-overriding subclasses fall
+            back to per-event silently). Results are bit-identical
+            either way; the per-event interpreters remain behind
+            ``False`` as the equivalence baseline. Defaults to on, or to
+            the ``REPRO_BATCHED_KERNELS`` environment variable when set
+            (``0`` disables — CI's reference-interpreter leg uses this).
     """
 
     n_procs: int = PAPER_N_PROCS
@@ -86,7 +99,7 @@ class SimConfig:
     gc_at_barriers: bool = False
     record_values: bool = False
     use_coherence_index: bool = True
-    use_batched_kernels: bool = True
+    use_batched_kernels: bool = field(default_factory=lambda: _default_batched_kernels())
 
     def __post_init__(self) -> None:
         if self.n_procs < 1:

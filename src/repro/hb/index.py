@@ -71,10 +71,41 @@ class FetchPlan:
         self.apply = apply
 
 
+class RunFetchPlan:
+    """One fetch covering every faulting page of an access run.
+
+    Attributes:
+        by_server: ``(server, n_diffs, payload_bytes)`` tuples merged
+            across all pages, sorted by server id — one request/reply
+            pair each, identical to folding the per-page plans' server
+            lists into one accumulator.
+        plans: the per-page :class:`FetchPlan`s, in faulting order —
+            the apply loop and ``diff_apply`` emission still go page by
+            page.
+    """
+
+    __slots__ = ("by_server", "plans")
+
+    def __init__(
+        self,
+        by_server: Tuple[Tuple[ProcId, int, int], ...],
+        plans: Tuple[FetchPlan, ...],
+    ):
+        self.by_server = by_server
+        self.plans = plans
+
+
 class FetchPlanner:
     """Builds and memoizes :class:`FetchPlan`s from the write-notice index."""
 
-    __slots__ = ("_store", "_prune", "_run_header_bytes", "_word_bytes", "_memo")
+    __slots__ = (
+        "_store",
+        "_prune",
+        "_run_header_bytes",
+        "_word_bytes",
+        "_memo",
+        "_run_memo",
+    )
 
     #: Bounded memo; cleared wholesale if a pathological trace produces
     #: more distinct pending sets than any real synchronization pattern.
@@ -86,6 +117,7 @@ class FetchPlanner:
         self._run_header_bytes = cost_model.diff_run_header_bytes
         self._word_bytes = cost_model.word_bytes
         self._memo: Dict[Tuple[PageId, FrozenSet[IntervalId]], FetchPlan] = {}
+        self._run_memo: Dict[tuple, RunFetchPlan] = {}
 
     def plan(self, page: PageId, interval_ids: FrozenSet[IntervalId]) -> FetchPlan:
         """The fetch plan for ``page`` given its pending modifying intervals."""
@@ -131,6 +163,41 @@ class FetchPlanner:
         if len(memo) >= self._MEMO_LIMIT:
             memo.clear()
         memo[key] = plan
+        return plan
+
+    def plan_run(self, items: tuple) -> RunFetchPlan:
+        """One memoized plan covering all misses of an access run.
+
+        ``items`` is a tuple of ``(page, frozenset-of-interval-ids)``
+        pairs in faulting order. Multi-page fetches (LU/LH pulls,
+        barrier updates) repeat exactly like single-page ones —
+        every processor crossing the same barrier, every timestep
+        re-running the same hand-off, sees the same item tuple — so the
+        cross-page server merge (and the suffix-max server assignment
+        inside each page plan) is paid once per distinct run shape
+        instead of once per fetch.
+        """
+        memo = self._run_memo
+        plan = memo.get(items)
+        if plan is not None:
+            return plan
+        plans = tuple(self.plan(page, interval_ids) for page, interval_ids in items)
+        merged: Dict[ProcId, List[int]] = {}
+        for page_plan in plans:
+            for server, count, payload in page_plan.by_server:
+                totals = merged.get(server)
+                if totals is None:
+                    merged[server] = [count, payload]
+                else:
+                    totals[0] += count
+                    totals[1] += payload
+        by_server = tuple(
+            (server, merged[server][0], merged[server][1]) for server in sorted(merged)
+        )
+        plan = RunFetchPlan(by_server, plans)
+        if len(memo) >= self._MEMO_LIMIT:
+            memo.clear()
+        memo[items] = plan
         return plan
 
     # -- plan building -------------------------------------------------------

@@ -41,14 +41,33 @@ in first-occurrence order — the order the per-event receive loop would
 insert pages into ``pending``, which downstream code (LU's pull scan,
 diff-apply emission) iterates.
 
+The eager family (EI/EU/EW) shares none of that clock machinery, but
+its replay is just as precomputable: every probe emission and network
+message of an eager run happens on a miss, a write fault, or a flush —
+and all three are fully determined by (compiled trace, n_procs, policy).
+The per-run config only changes *wire sizes*, which the replay computes
+from linear cost-model formulas. :func:`build_eager_tape` therefore
+simulates the eager state machines (directory, page states, dirty sets)
+once per policy and records a *tape*: miss/write-fault records in global
+order, each tagged with the run-program instruction during whose batched
+replay it must fire, plus one flush-outcome record per release/barrier.
+The tags are what makes run batching sound for the eager family — a
+remote flush can invalidate a page (or revoke EW write permission)
+*mid-span*, so the resulting extra misses belong to instructions the run
+program never anchors; the tape replays them at exactly the per-event
+point. See :class:`repro.protocols.eager_base.BatchedEagerMixin` for the
+consuming kernels.
+
 :func:`batch_plan` memoizes one :class:`BatchPlan` (skeleton + run
-program + shared fetch planners) per n_procs on the compiled trace
-itself, so every protocol replay of a sweep reuses it.
+program + eager tapes + shared fetch planners, each built lazily on
+first use) per n_procs on the compiled trace itself, so every protocol
+replay of a sweep reuses it.
 """
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Tuple
+import os
+from typing import Dict, List, Optional, Set, Tuple
 
 from repro.common.types import BarrierId, ProcId
 from repro.common.vector_clock import VectorClock
@@ -69,11 +88,15 @@ from repro.trace.precompile import (
     OP_WRITE_N,
     CompiledTrace,
 )
-from repro.trace.runs import RunProgram, segment_runs
+from repro.trace.runs import CACHE_ENV_VAR, RunProgram, cached_run_program, segment_runs
 
 K_ACQUIRE = 0
 K_RELEASE = 1
 K_BARRIER = 2
+
+#: Record type codes in an eager tape's access list.
+E_MISS = 0
+E_WFAULT = 1
 
 
 class Skeleton:
@@ -90,22 +113,80 @@ class Skeleton:
         return f"Skeleton(n_procs={self.n_procs}, {len(self.records)} sync records)"
 
 
+class EagerTape:
+    """Precomputed replay tape for one eager policy over one trace.
+
+    ``accesses`` holds miss and write-fault records in global trace
+    order, each tagged with the run-program instruction index whose
+    batched kernel must replay it (records past the last instruction
+    carry tag ``n_instructions`` and drain in ``finish()``). ``flushes``
+    holds one outcome per R_RELEASE/R_BARRIER instruction in program
+    order (``None`` when the flush found nothing dirty); EW tapes have
+    no flush records. Record shapes::
+
+        (tag, E_MISS, proc, page, cold, server, forward_or_None)
+        (tag, E_WFAULT, proc, page, miss_or_None, holders, ping)
+            miss: (cold, server, forward_or_None) for the nested fetch
+        flush: None | (count, excess, pushes)
+            excess: ((page, owner, n_runs, n_words, dests), ...)
+            pushes: ((dest, n_diffs, total_runs, total_words), ...)
+    """
+
+    __slots__ = ("policy", "accesses", "flushes", "n_instructions")
+
+    def __init__(self, policy: str, accesses: List[tuple], flushes: List[Optional[tuple]], n_instructions: int):
+        self.policy = policy
+        self.accesses = accesses
+        self.flushes = flushes
+        self.n_instructions = n_instructions
+
+    def __repr__(self) -> str:
+        return (
+            f"EagerTape({self.policy}, {len(self.accesses)} accesses, "
+            f"{len(self.flushes)} flushes)"
+        )
+
+
 class BatchPlan:
     """Everything a batched replay of one compiled trace shares.
 
-    The run program and skeleton are immutable during replays; the
-    fetch planners (one per (cost model, pruning flag) actually used)
-    are memo caches over the immutable store, so sharing them across
+    The run program, skeleton, and eager tapes are immutable during
+    replays and built lazily on first use — an eager-only replay never
+    pays for the lazy interval store, and vice versa. The fetch
+    planners (one per (cost model, pruning flag) actually used) are
+    memo caches over the immutable store, so sharing them across
     protocol instances only widens the memo hit rate.
     """
 
-    __slots__ = ("compiled", "runs", "skeleton", "_planners")
+    __slots__ = ("compiled", "n_procs", "_runs", "_skeleton", "_planners", "_eager_tapes")
 
-    def __init__(self, compiled: CompiledTrace, runs: RunProgram, skeleton: Skeleton):
+    def __init__(
+        self,
+        compiled: CompiledTrace,
+        n_procs: int,
+        runs: Optional[RunProgram] = None,
+        skeleton: Optional[Skeleton] = None,
+    ):
         self.compiled = compiled
-        self.runs = runs
-        self.skeleton = skeleton
+        self.n_procs = n_procs
+        self._runs = runs
+        self._skeleton = skeleton
         self._planners: Dict[Tuple[CostModel, bool], FetchPlanner] = {}
+        self._eager_tapes: Dict[str, EagerTape] = {}
+
+    @property
+    def runs(self) -> RunProgram:
+        runs = self._runs
+        if runs is None:
+            runs = self._runs = segment_runs(self.compiled, self.n_procs)
+        return runs
+
+    @property
+    def skeleton(self) -> Skeleton:
+        skeleton = self._skeleton
+        if skeleton is None:
+            skeleton = self._skeleton = build_skeleton(self.compiled, self.n_procs)
+        return skeleton
 
     @property
     def store(self) -> IntervalStore:
@@ -114,6 +195,14 @@ class BatchPlan:
     @property
     def records(self) -> List[tuple]:
         return self.skeleton.records
+
+    def eager_tape(self, policy: str) -> EagerTape:
+        tape = self._eager_tapes.get(policy)
+        if tape is None:
+            tape = self._eager_tapes[policy] = build_eager_tape(
+                self.compiled, self.n_procs, policy
+            )
+        return tape
 
     def planner_for(self, cost_model: CostModel, prune_overwritten: bool) -> FetchPlanner:
         key = (cost_model, prune_overwritten)
@@ -125,7 +214,7 @@ class BatchPlan:
         return planner
 
     def __repr__(self) -> str:
-        return f"BatchPlan({self.compiled!r}, {len(self.records)} sync records)"
+        return f"BatchPlan({self.compiled!r}, n_procs={self.n_procs})"
 
 
 def _grouped_gap(
@@ -253,17 +342,387 @@ def build_skeleton(compiled: CompiledTrace, n_procs: int) -> Skeleton:
     return Skeleton(n_procs, store, records)
 
 
-def batch_plan(compiled: CompiledTrace, n_procs: int) -> BatchPlan:
+#: Page-table states mirrored during eager tape builds. Absent from a
+#: proc's page dict means MISSING (never fetched), matching PageState.
+_MISSING = 0
+_VALID = 1
+_INVALID = 2
+
+
+def _run_count(words) -> int:
+    """Number of maximal consecutive-index runs over a word-index set.
+
+    Matches ``Diff.runs()`` over the same words, which is what sizes a
+    diff on the wire (``wire_bytes`` is linear in runs and words — the
+    only reason flush outcomes can be stored as (n_runs, n_words) pairs
+    instead of whole diffs).
+    """
+    indices = sorted(words)
+    runs = 1
+    prev = indices[0]
+    for idx in indices[1:]:
+        if idx != prev + 1:
+            runs += 1
+        prev = idx
+    return runs
+
+
+def build_eager_tape(compiled: CompiledTrace, n_procs: int, policy: str) -> EagerTape:
+    """Simulate one eager policy's state machine and record its tape.
+
+    ``policy`` is ``"EI"``, ``"EU"``, or ``"EW"``. EI and EU need
+    separate tapes: EI's flush invalidations change which later accesses
+    miss. The builder duplicates two orderings the per-event path
+    depends on: ``segment_runs``'s span bookkeeping (to tag each record
+    with the instruction whose kernel replays it) and the page tables'
+    entry-creation iteration order (which fixes flush/excess ordering).
+    """
+    if policy == "EW":
+        return _build_ew_tape(compiled, n_procs)
+    if policy not in ("EI", "EU"):
+        raise ValueError(f"unknown eager tape policy: {policy!r}")
+    return _build_flush_tape(compiled, n_procs, update=(policy == "EU"))
+
+
+def _build_flush_tape(compiled: CompiledTrace, n_procs: int, update: bool) -> EagerTape:
+    """EI/EU tape: misses plus one flush outcome per release/barrier."""
+    states: List[Dict[int, int]] = [{} for _ in range(n_procs)]
+    dirty: List[Dict[int, Set[int]]] = [{} for _ in range(n_procs)]
+    copyset: Dict[int, Set[int]] = {}
+    owner: Dict[int, Optional[int]] = {}
+    accesses: List[tuple] = []
+    flushes: List[Optional[tuple]] = []
+
+    # Span bookkeeping duplicated from segment_runs: 3 states per
+    # (proc, page) — absent (no open span), 0 (touch-only), 1 (written).
+    open_runs: Dict[Tuple[int, int], int] = {}
+    open_by_proc: List[List[int]] = [[] for _ in range(n_procs)]
+    arrivals: Dict[int, int] = {}
+    n_ins = 0
+
+    def cachers(page: int) -> Set[int]:
+        s = copyset.get(page)
+        if s is None:
+            s = copyset[page] = set()
+        return s
+
+    def access(proc: int, page: int, tag: int, words) -> None:
+        st = states[proc].get(page, _MISSING)
+        if st != _VALID:
+            page_cachers = cachers(page)
+            own = owner.get(page)
+            manager = page % n_procs
+            if manager in page_cachers or own is None:
+                server, forward = manager, None
+            else:
+                server = own if own != proc else manager
+                forward = manager
+            accesses.append((tag, E_MISS, proc, page, st == _MISSING, server, forward))
+            page_cachers.add(proc)
+            if owner.get(page) is None:
+                owner[page] = proc
+            states[proc][page] = _VALID
+        if words is not None:
+            d = dirty[proc].get(page)
+            if d is None:
+                dirty[proc][page] = d = set()
+            d.update(words)
+
+    def flush(proc: int) -> None:
+        proc_states = states[proc]
+        proc_dirty = dirty[proc]
+        if not proc_dirty:
+            flushes.append(None)
+            return
+        # Dirty entries in page-table (first-access) order, fixed once
+        # up front — exactly like _flush's dirty_entries list.
+        dirty_pages = [p for p in proc_states if p in proc_dirty]
+        excess: List[tuple] = []
+        per_dest: Dict[int, List] = {}
+        for page in dirty_pages:
+            words = proc_dirty.pop(page)
+            n_words = len(words)
+            n_runs = _run_count(words)
+            if proc_states[page] == _INVALID:
+                own = owner.get(page)
+                assert own is not None and own != proc, (
+                    "excess invalidator flush with no distinct owner"
+                )
+                page_cachers = cachers(page)
+                dests = tuple(sorted(page_cachers - {proc, own}))
+                excess.append((page, own, n_runs, n_words, dests))
+                for dest in dests:
+                    if states[dest].get(page, _MISSING) == _VALID:
+                        states[dest][page] = _INVALID
+                    page_cachers.discard(dest)
+            else:
+                for dest in cachers(page) - {proc}:
+                    acc = per_dest.get(dest)
+                    if acc is None:
+                        per_dest[dest] = acc = [0, 0, 0, []]
+                    acc[0] += 1
+                    acc[1] += n_runs
+                    acc[2] += n_words
+                    acc[3].append(page)
+                owner[page] = proc  # _post_flush_page
+        pushes: List[tuple] = []
+        for dest in sorted(per_dest):
+            count, runs_total, words_total, pages = per_dest[dest]
+            pushes.append((dest, count, runs_total, words_total))
+            if not update:
+                # EI applies the invalidations as part of the push.
+                dest_states = states[dest]
+                for page in pages:
+                    if dest_states.get(page, _MISSING) == _VALID:
+                        dest_states[page] = _INVALID
+                    cachers(page).discard(dest)
+        flushes.append((len(dirty_pages), tuple(excess), tuple(pushes)))
+
+    for op in compiled.ops:
+        code = op[0]
+        if code == OP_READ:
+            proc, page = op[1], op[2]
+            key = (proc, page)
+            if key not in open_runs:
+                open_runs[key] = 0
+                open_by_proc[proc].append(page)
+                n_ins += 1
+                access(proc, page, n_ins - 1, None)
+            else:
+                access(proc, page, n_ins, None)
+        elif code == OP_WRITE:
+            proc, page = op[1], op[2]
+            key = (proc, page)
+            st = open_runs.get(key, -1)
+            if st == 1:
+                access(proc, page, n_ins, op[3])
+            else:
+                if st == -1:
+                    open_by_proc[proc].append(page)
+                open_runs[key] = 1
+                n_ins += 1
+                access(proc, page, n_ins - 1, op[3])
+        elif code == OP_READ_N:
+            proc = op[1]
+            spans = open_by_proc[proc]
+            for page, _ in op[2]:
+                key = (proc, page)
+                if key not in open_runs:
+                    open_runs[key] = 0
+                    spans.append(page)
+                    n_ins += 1
+                    access(proc, page, n_ins - 1, None)
+                else:
+                    access(proc, page, n_ins, None)
+        elif code == OP_WRITE_N:
+            proc = op[1]
+            spans = open_by_proc[proc]
+            for page, op_words in op[2]:
+                key = (proc, page)
+                st = open_runs.get(key, -1)
+                if st == 1:
+                    access(proc, page, n_ins, op_words)
+                else:
+                    if st == -1:
+                        spans.append(page)
+                    open_runs[key] = 1
+                    n_ins += 1
+                    access(proc, page, n_ins - 1, op_words)
+        elif code == OP_ACQUIRE:
+            proc = op[1]
+            spans = open_by_proc[proc]
+            if spans:
+                for page in spans:
+                    del open_runs[(proc, page)]
+                spans.clear()
+            n_ins += 1
+        elif code == OP_RELEASE:
+            proc = op[1]
+            spans = open_by_proc[proc]
+            if spans:
+                for page in spans:
+                    del open_runs[(proc, page)]
+                spans.clear()
+            n_ins += 1
+            flush(proc)
+        else:  # OP_BARRIER
+            proc, barrier = op[1], op[2]
+            spans = open_by_proc[proc]
+            if spans:
+                for page in spans:
+                    del open_runs[(proc, page)]
+                spans.clear()
+            n_ins += 1
+            flush(proc)
+            count = arrivals.get(barrier, 0) + 1
+            if count == n_procs:
+                arrivals[barrier] = 0
+                if open_runs:
+                    open_runs.clear()
+                    for spans in open_by_proc:
+                        spans.clear()
+            else:
+                arrivals[barrier] = count
+    return EagerTape("EU" if update else "EI", accesses, flushes, n_ins)
+
+
+def _build_ew_tape(compiled: CompiledTrace, n_procs: int) -> EagerTape:
+    """EW tape: misses plus write-fault records; no flush outcomes."""
+    states: List[Dict[int, int]] = [{} for _ in range(n_procs)]
+    copyset: Dict[int, Set[int]] = {}
+    owner: Dict[int, Optional[int]] = {}
+    writable: Set[Tuple[int, int]] = set()
+    last_owner: Dict[int, int] = {}
+    accesses: List[tuple] = []
+
+    open_runs: Dict[Tuple[int, int], int] = {}
+    open_by_proc: List[List[int]] = [[] for _ in range(n_procs)]
+    arrivals: Dict[int, int] = {}
+    n_ins = 0
+
+    def cachers(page: int) -> Set[int]:
+        s = copyset.get(page)
+        if s is None:
+            s = copyset[page] = set()
+        return s
+
+    def fetch(proc: int, page: int) -> tuple:
+        """ExclusiveWriter._fetch: (cold, server, forward) + effects."""
+        st = states[proc].get(page, _MISSING)
+        page_cachers = cachers(page)
+        own = owner.get(page)
+        manager = page % n_procs
+        if own is None or manager in page_cachers:
+            server, forward = manager, None
+        else:
+            server = own if own != proc else manager
+            forward = manager
+        page_cachers.add(proc)
+        if owner.get(page) is None:
+            owner[page] = proc
+        elif own is not None and own != proc:
+            writable.discard((own, page))
+        states[proc][page] = _VALID
+        return (st == _MISSING, server, forward)
+
+    def read_access(proc: int, page: int, tag: int) -> None:
+        if states[proc].get(page, _MISSING) != _VALID:
+            cold, server, forward = fetch(proc, page)
+            accesses.append((tag, E_MISS, proc, page, cold, server, forward))
+
+    def write_access(proc: int, page: int, tag: int) -> None:
+        if (proc, page) in writable:
+            return
+        # _acquire_ownership
+        miss = None
+        if states[proc].get(page, _MISSING) != _VALID:
+            miss = fetch(proc, page)
+        holders = tuple(sorted(cachers(page) - {proc}))
+        for holder in holders:
+            if states[holder].get(page, _MISSING) == _VALID:
+                states[holder][page] = _INVALID
+            writable.discard((holder, page))
+        copyset[page] = {proc}
+        previous = last_owner.get(page)
+        ping = previous is not None and previous != proc
+        last_owner[page] = proc
+        owner[page] = proc
+        writable.add((proc, page))
+        accesses.append((tag, E_WFAULT, proc, page, miss, holders, ping))
+
+    for op in compiled.ops:
+        code = op[0]
+        if code == OP_READ:
+            proc, page = op[1], op[2]
+            key = (proc, page)
+            if key not in open_runs:
+                open_runs[key] = 0
+                open_by_proc[proc].append(page)
+                n_ins += 1
+                read_access(proc, page, n_ins - 1)
+            else:
+                read_access(proc, page, n_ins)
+        elif code == OP_WRITE:
+            proc, page = op[1], op[2]
+            key = (proc, page)
+            st = open_runs.get(key, -1)
+            if st == 1:
+                write_access(proc, page, n_ins)
+            else:
+                if st == -1:
+                    open_by_proc[proc].append(page)
+                open_runs[key] = 1
+                n_ins += 1
+                write_access(proc, page, n_ins - 1)
+        elif code == OP_READ_N:
+            proc = op[1]
+            spans = open_by_proc[proc]
+            for page, _ in op[2]:
+                key = (proc, page)
+                if key not in open_runs:
+                    open_runs[key] = 0
+                    spans.append(page)
+                    n_ins += 1
+                    read_access(proc, page, n_ins - 1)
+                else:
+                    read_access(proc, page, n_ins)
+        elif code == OP_WRITE_N:
+            proc = op[1]
+            spans = open_by_proc[proc]
+            for page, _ in op[2]:
+                key = (proc, page)
+                st = open_runs.get(key, -1)
+                if st == 1:
+                    write_access(proc, page, n_ins)
+                else:
+                    if st == -1:
+                        spans.append(page)
+                    open_runs[key] = 1
+                    n_ins += 1
+                    write_access(proc, page, n_ins - 1)
+        elif code == OP_ACQUIRE or code == OP_RELEASE:
+            proc = op[1]
+            spans = open_by_proc[proc]
+            if spans:
+                for page in spans:
+                    del open_runs[(proc, page)]
+                spans.clear()
+            n_ins += 1
+        else:  # OP_BARRIER
+            proc, barrier = op[1], op[2]
+            spans = open_by_proc[proc]
+            if spans:
+                for page in spans:
+                    del open_runs[(proc, page)]
+                spans.clear()
+            n_ins += 1
+            count = arrivals.get(barrier, 0) + 1
+            if count == n_procs:
+                arrivals[barrier] = 0
+                if open_runs:
+                    open_runs.clear()
+                    for spans in open_by_proc:
+                        spans.clear()
+            else:
+                arrivals[barrier] = count
+    return EagerTape("EW", accesses, [], n_ins)
+
+
+def batch_plan(compiled: CompiledTrace, n_procs: int, trace=None) -> BatchPlan:
     """The (memoized) batch plan of ``compiled`` for ``n_procs``.
 
     Cached on the compiled trace itself, so all protocols of a sweep
     cell — and every best-of round of a benchmark — share one plan per
-    (trace, page size, n_procs).
+    (trace, page size, n_procs). When ``trace`` is given and the
+    ``REPRO_TRACE_CACHE`` environment variable is set, the run program
+    comes from the on-disk ``.runsb`` cache (written on first build), so
+    repeated tool invocations over the same trace skip segmentation.
     """
     plans = compiled._batch_plans
     plan = plans.get(n_procs)
     if plan is None:
-        runs = segment_runs(compiled, n_procs)
-        skeleton = build_skeleton(compiled, n_procs)
-        plan = plans[n_procs] = BatchPlan(compiled, runs, skeleton)
+        runs = None
+        if trace is not None and os.environ.get(CACHE_ENV_VAR):
+            runs = cached_run_program(trace, compiled.page_size, n_procs)
+        plan = plans[n_procs] = BatchPlan(compiled, n_procs, runs=runs)
     return plan

@@ -42,6 +42,7 @@ class Network:
         #: recording probe is attached, so the disabled cost is one
         #: attribute load + identity check per message.
         self._probe = None
+        self._probe_stages = False
         # Cost-model policy flags, hoisted: send() runs once per message
         # of every sweep cell and the model is immutable.
         self._count_acks = self.cost_model.count_acks
@@ -76,9 +77,20 @@ class Network:
         """Mirror every counted send into ``probe.on_message``.
 
         Only recording probes are kept — attaching the null probe (or
-        None) leaves the accounting fast path untouched.
+        None) leaves the accounting fast path untouched. A stock
+        :class:`~repro.obs.probe.RecordingProbe` (no ``on_message``
+        override) is recognized here and its staged segment row is
+        updated inline on the send fast path — three list adds instead
+        of a Python method call per message.
         """
+        from repro.obs.probe import RecordingProbe
+
         self._probe = probe if probe is not None and probe.enabled else None
+        self._probe_stages = (
+            self._probe is not None
+            and isinstance(probe, RecordingProbe)
+            and type(probe).on_message is RecordingProbe.on_message
+        )
 
     # -- sending ---------------------------------------------------------------
 
@@ -121,8 +133,16 @@ class Network:
                 data += self._header_bytes
             bucket.data_bytes += data
             bucket.control_bytes += control_bytes
-            if self._probe is not None:
-                self._probe.on_message(kind, src, dst, data, control_bytes, counted)
+            probe = self._probe
+            if probe is not None:
+                if self._probe_stages:
+                    row = probe._seg_row
+                    if counted:
+                        row[0] += 1
+                    row[1] += data
+                    row[2] += control_bytes
+                else:
+                    probe.on_message(kind, src, dst, data, control_bytes, counted)
             return None
         message = Message(
             kind=kind,
@@ -140,8 +160,16 @@ class Network:
             if self._count_header:
                 data += self._header_bytes
             self.stats.record(message, data_bytes=data, counted=counted)
-            if self._probe is not None:
-                self._probe.on_message(kind, src, dst, data, control_bytes, counted)
+            probe = self._probe
+            if probe is not None:
+                if self._probe_stages:
+                    row = probe._seg_row
+                    if counted:
+                        row[0] += 1
+                    row[1] += data
+                    row[2] += control_bytes
+                else:
+                    probe.on_message(kind, src, dst, data, control_bytes, counted)
             if self.keep_log:
                 self._log.append(message)
             channel = self._channels.get((src, dst))

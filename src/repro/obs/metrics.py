@@ -20,7 +20,7 @@ combined after the ProcessPoolExecutor boundary.
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Optional, Tuple
+from typing import Callable, Dict, Iterable, List, Optional, Tuple
 
 #: Columns of one epoch row (list-backed for cheap hot-path updates).
 _MSGS, _DATA, _CTRL, _MISSES = 0, 1, 2, 3
@@ -55,6 +55,20 @@ class MetricsRegistry:
         self._epochs: List[List[int]] = [[0] * _ROW_WIDTH]
         #: Lock id -> [messages, data_bytes, control_bytes].
         self._locks: Dict[int, List[int]] = {}
+        #: Drain callbacks for probes that stage counts locally
+        #: (:meth:`RecordingProbe._flush_segment`); invoked before any
+        #: read so snapshots never miss a partially staged segment.
+        self._stagers: List[Callable[[], None]] = []
+
+    # -- staged recording ----------------------------------------------------
+
+    def attach_stager(self, drain: Callable[[], None]) -> None:
+        """Register a drain callback flushed before every read."""
+        self._stagers.append(drain)
+
+    def _drain(self) -> None:
+        for drain in self._stagers:
+            drain()
 
     # -- hot-path recording --------------------------------------------------
 
@@ -96,6 +110,41 @@ class MetricsRegistry:
         row = self._epochs[epoch] if epoch < len(self._epochs) else self._row(epoch)
         row[_MISSES] += 1
 
+    def record_segment(
+        self,
+        epoch: int,
+        cause: Tuple[str, int],
+        msgs: int,
+        data_bytes: int,
+        control_bytes: int,
+        misses: int,
+    ) -> None:
+        """Fold one staged segment of constant (epoch, cause) in at once.
+
+        Additively equivalent to ``msgs`` counted :meth:`record_message`
+        calls carrying ``data_bytes``/``control_bytes`` total plus
+        ``misses`` :meth:`record_miss` calls — the probe stages plain
+        int adds between attribution boundaries and drains here, so the
+        per-event dict/tuple work disappears from the hot path.
+        """
+        row = self._epochs[epoch] if epoch < len(self._epochs) else self._row(epoch)
+        row[_MSGS] += msgs
+        row[_DATA] += data_bytes
+        row[_CTRL] += control_bytes
+        row[_MISSES] += misses
+        kind, ident = cause
+        cols = _CAUSE_COLS.get(kind)
+        if cols is not None:
+            row[cols[0]] += msgs
+            row[cols[1]] += data_bytes
+        if kind == "lock":
+            lock_row = self._locks.get(ident)
+            if lock_row is None:
+                lock_row = self._locks[ident] = [0, 0, 0]
+            lock_row[0] += msgs
+            lock_row[1] += data_bytes
+            lock_row[2] += control_bytes
+
     def count(self, name: str, n: int = 1) -> None:
         self.counters[name] = self.counters.get(name, 0) + n
 
@@ -109,15 +158,18 @@ class MetricsRegistry:
 
     @property
     def n_epochs(self) -> int:
+        self._drain()
         return len(self._epochs)
 
     def epoch_total(self, field: str) -> int:
         """Sum of one epoch column across all epochs."""
+        self._drain()
         index = EPOCH_FIELDS.index(field)
         return sum(row[index] for row in self._epochs)
 
     def snapshot(self) -> Dict[str, object]:
         """A plain-dict, JSON/pickle-friendly view of everything recorded."""
+        self._drain()
         return {
             "epochs": [
                 dict(zip(EPOCH_FIELDS, row)) for row in self._epochs

@@ -82,6 +82,11 @@ class Probe:
 
     #: False on the null recorder; RecordingProbe overrides with True.
     enabled: bool = False
+    #: True when structured events are actually wanted (a RecordingProbe
+    #: with sinks). Protocols cache this as ``_obs_events`` and skip the
+    #: event-construction work at emission sites when it is False, so a
+    #: metrics-only probe pays for accounting but not for events.
+    events: bool = False
 
     # -- structured events ---------------------------------------------------
 
@@ -151,17 +156,47 @@ class RecordingProbe(Probe):
         self._flush_sinks: List[Any] = [
             sink.flush for sink in self.sinks if hasattr(sink, "flush")
         ]
+        #: Event emission is only worth the call-site work with sinks
+        #: attached; metrics-only probes leave this False (captured at
+        #: attach time by Protocol.attach_probe).
+        self.events = bool(self.sinks)
         self.metrics = metrics if metrics is not None else MetricsRegistry()
         self._seq = 0
         self._epoch = 0
         self._cause: Tuple[str, int] = MISS_CAUSE
-        #: Saved causes; sync operations do not nest in practice, but a
-        #: stack keeps begin/end robust if a subclass ever does.
-        self._cause_stack: List[Tuple[str, int]] = []
+        #: Saved (cause, staged row) pairs; sync operations do not nest
+        #: in practice, but a stack keeps begin/end robust if a subclass
+        #: ever does. Rows ride along so end() restores without a dict
+        #: lookup — sound because rows are zeroed on drain, never
+        #: discarded, so a stacked reference stays live.
+        self._cause_stack: List[Tuple[Tuple[str, int], List[int]]] = []
+        #: Staged accounting for the current epoch, one row of
+        #: [messages, data, control, misses] per cause. The epoch is
+        #: constant between advance_epoch calls and the cause between
+        #: begin/end boundaries, so the hot message hook is three int
+        #: adds on ``_seg_row``; rows drain into the registry once per
+        #: barrier epoch (columnar recording). ``Network.attach_probe``
+        #: recognizes stock probes and performs the ``_seg_row`` adds
+        #: inline on its send fast path, bypassing ``on_message``.
+        self._segments: Dict[Tuple[str, int], List[int]] = {}
+        self._seg_row: List[int] = self._segments.setdefault(MISS_CAUSE, [0, 0, 0, 0])
+        #: Per-kind row caches keyed by the bare id — the protocol sync
+        #: wrappers swap ``_seg_row`` through these on the certified
+        #: fast path instead of calling begin/end (see
+        #: ``Protocol.attach_probe``), skipping tuple construction.
+        self._lock_rows: Dict[int, List[int]] = {}
+        self._barrier_rows: Dict[int, List[int]] = {}
+        self.metrics.attach_stager(self._flush_segments)
 
     # -- structured events ---------------------------------------------------
 
     def emit(self, kind: str, proc: int = -1, **fields: Any) -> None:
+        sinks = self.sinks
+        if not sinks:
+            # Metrics-only probe: keep the sequence numbering (repr,
+            # subclass hooks) but skip building the event dict.
+            self._seq += 1
+            return
         event: Dict[str, Any] = {
             "seq": self._seq,
             "kind": kind,
@@ -171,19 +206,35 @@ class RecordingProbe(Probe):
         if fields:
             event.update(fields)
         self._seq += 1
-        for sink in self.sinks:
+        for sink in sinks:
             sink.record(event)
 
     # -- attribution context -------------------------------------------------
 
     def begin(self, cause_kind: str, cause_id: int) -> None:
-        self._cause_stack.append(self._cause)
-        self._cause = (cause_kind, cause_id)
+        self._cause_stack.append((self._cause, self._seg_row))
+        cause = (cause_kind, cause_id)
+        self._cause = cause
+        row = self._segments.get(cause)
+        if row is None:
+            row = self._segments[cause] = [0, 0, 0, 0]
+        self._seg_row = row
 
     def end(self) -> None:
-        self._cause = self._cause_stack.pop() if self._cause_stack else MISS_CAUSE
+        stack = self._cause_stack
+        if stack:
+            self._cause, self._seg_row = stack.pop()
+        else:
+            self._cause = MISS_CAUSE
+            row = self._segments.get(MISS_CAUSE)
+            if row is None:
+                row = self._segments[MISS_CAUSE] = [0, 0, 0, 0]
+            self._seg_row = row
 
     def advance_epoch(self) -> None:
+        # Drain before the bump: the completing episode's staged traffic
+        # belongs to the epoch it closes.
+        self._flush_segments()
         self._epoch += 1
         for flush in self._flush_sinks:
             flush()
@@ -196,17 +247,46 @@ class RecordingProbe(Probe):
     # -- accounting hooks ----------------------------------------------------
 
     def on_message(self, kind, src, dst, data_bytes, control_bytes, counted) -> None:
-        self.metrics.record_message(
-            self._epoch, self._cause, counted, data_bytes, control_bytes
-        )
+        row = self._seg_row
+        if counted:
+            row[0] += 1
+        row[1] += data_bytes
+        row[2] += control_bytes
 
     def page_fault(self, proc: int, page: int, cold: bool) -> None:
-        self.metrics.record_miss(self._epoch)
-        self.emit("page_fault", proc=proc, page=page, cold=int(cold))
+        self._seg_row[3] += 1
+        if self.events:
+            self.emit("page_fault", proc=proc, page=page, cold=int(cold))
+
+    def _cause_row(self, kind: str, ident: int) -> List[int]:
+        """The staged row charging ``(kind, ident)``, created on demand.
+
+        Shared with :meth:`begin` through ``_segments``, so the inlined
+        wrapper fast path and explicit begin/end calls stage into the
+        same row.
+        """
+        return self._segments.setdefault((kind, ident), [0, 0, 0, 0])
+
+    def _flush_segments(self) -> None:
+        """Drain the staged per-cause rows into the registry.
+
+        Rows are zeroed in place, never discarded: stacked and inlined
+        references (``_cause_stack``, ``Network``'s fast path) stay
+        valid across drains, and the cause set per run is small so the
+        retained dict costs nothing.
+        """
+        segments = self._segments
+        record = self.metrics.record_segment
+        epoch = self._epoch
+        for cause, row in segments.items():
+            if row[0] or row[1] or row[2] or row[3]:
+                record(epoch, cause, row[0], row[1], row[2], row[3])
+                row[0] = row[1] = row[2] = row[3] = 0
 
     # -- lifecycle -----------------------------------------------------------
 
     def close(self) -> None:
+        self._flush_segments()
         for flush in self._flush_sinks:
             flush()
         for sink in self.sinks:

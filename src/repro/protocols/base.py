@@ -58,11 +58,16 @@ class Protocol(abc.ABC):
         self.diffs_fetched = 0
         self.diff_bytes_fetched = 0
         # Telemetry: the null recorder until a probe is attached. Every
-        # emission site below guards on the cached ``_obs`` flag, so a
-        # run without telemetry pays one boolean check on the (rare)
-        # miss/sync paths and nothing at all on ordinary hits.
+        # emission site below guards on a cached flag, so a run without
+        # telemetry pays one boolean check on the (rare) miss/sync paths
+        # and nothing at all on ordinary hits. ``_obs`` gates accounting
+        # (attribution context, miss staging); ``_obs_events`` gates
+        # structured-event construction, which metrics-only probes (no
+        # sinks) skip entirely.
         self.probe: Probe = NULL_PROBE
         self._obs = False
+        self._obs_events = False
+        self._probe_fast = False
 
     def attach_probe(self, probe: Probe) -> None:
         """Install ``probe`` on this protocol and its network.
@@ -70,8 +75,21 @@ class Protocol(abc.ABC):
         Called by the engine before replay; attaching the null probe is
         a supported no-op (the guards stay off).
         """
+        from repro.obs.probe import RecordingProbe
+
         self.probe = probe
         self._obs = probe.enabled
+        self._obs_events = probe.enabled and probe.events
+        # A stock RecordingProbe (no begin/end override) lets the sync
+        # wrappers swap the staged attribution row inline — two
+        # attribute stores per sync operation instead of two method
+        # calls. Subclassed probes keep the full begin/end protocol.
+        self._probe_fast = (
+            probe.enabled
+            and isinstance(probe, RecordingProbe)
+            and type(probe).begin is RecordingProbe.begin
+            and type(probe).end is RecordingProbe.end
+        )
         self.network.attach_probe(probe)
 
     # -- helpers -----------------------------------------------------------
@@ -125,49 +143,93 @@ class Protocol(abc.ABC):
     def acquire(self, proc: ProcId, lock: LockId) -> None:
         obs = self._obs
         if obs:
-            self.probe.begin("lock", lock)
-            self.probe.emit("acquire", proc=proc, lock=lock)
+            probe = self.probe
+            if self._probe_fast:
+                saved = probe._seg_row
+                row = probe._lock_rows.get(lock)
+                if row is None:
+                    row = probe._lock_rows[lock] = probe._cause_row("lock", lock)
+                probe._seg_row = row
+            else:
+                saved = None
+                probe.begin("lock", lock)
+            if self._obs_events:
+                probe.emit("acquire", proc=proc, lock=lock)
         self._on_acquire(proc, lock)
         self.locks.record_acquire(proc, lock)
         if obs:
-            self.probe.end()
+            if saved is not None:
+                probe._seg_row = saved
+            else:
+                probe.end()
 
     def release(self, proc: ProcId, lock: LockId) -> None:
         obs = self._obs
         if obs:
-            self.probe.begin("lock", lock)
-            self.probe.emit("release", proc=proc, lock=lock)
+            probe = self.probe
+            if self._probe_fast:
+                saved = probe._seg_row
+                row = probe._lock_rows.get(lock)
+                if row is None:
+                    row = probe._lock_rows[lock] = probe._cause_row("lock", lock)
+                probe._seg_row = row
+            else:
+                saved = None
+                probe.begin("lock", lock)
+            if self._obs_events:
+                probe.emit("release", proc=proc, lock=lock)
         self._on_release(proc, lock)
         self.locks.record_release(proc, lock)
         if obs:
-            self.probe.end()
+            if saved is not None:
+                probe._seg_row = saved
+            else:
+                probe.end()
 
     def barrier(self, proc: ProcId, barrier: BarrierId) -> None:
         """Barrier arrival; the family hook sends the arrival message."""
         obs = self._obs
         if obs:
-            self.probe.begin("barrier", barrier)
-            self.probe.emit("barrier_arrive", proc=proc, barrier=barrier)
+            probe = self.probe
+            if self._probe_fast:
+                saved = probe._seg_row
+                row = probe._barrier_rows.get(barrier)
+                if row is None:
+                    row = probe._barrier_rows[barrier] = probe._cause_row(
+                        "barrier", barrier
+                    )
+                probe._seg_row = row
+            else:
+                saved = None
+                probe.begin("barrier", barrier)
+            if self._obs_events:
+                probe.emit("barrier_arrive", proc=proc, barrier=barrier)
         self._on_barrier_arrive(proc, barrier)
         if self.barriers.record_arrival(proc, barrier):
-            if obs:
+            if self._obs_events:
                 self.probe.emit("barrier_complete", proc=proc, barrier=barrier)
             self._on_barrier_complete(barrier)
             if obs:
                 # Exit traffic above belongs to the episode it closes;
-                # everything after is the next epoch's.
+                # everything after is the next epoch's. advance_epoch
+                # zeroes staged rows in place, so the saved reference
+                # restored below stays live.
                 self.probe.advance_epoch()
         if obs:
-            self.probe.end()
+            if saved is not None:
+                probe._seg_row = saved
+            else:
+                probe.end()
 
     def finish(self) -> None:
         """Called once after the last trace event (default: no-op)."""
 
     def supports_batched_runs(self) -> bool:
         """True when the engine may drive this instance with the batched
-        access-run kernels (see :mod:`repro.hb.skeleton`). The eager
-        family has no batched implementation, so the base answer is No
-        and the engine falls back to the per-event interpreter."""
+        access-run kernels (see :mod:`repro.hb.skeleton`). Both families
+        certify their concrete classes (lazy via the skeleton kernels,
+        eager via the replay tapes); the base answer is No, so anything
+        uncertified falls back to the per-event interpreter."""
         return False
 
     # -- miss handling --------------------------------------------------------
@@ -222,7 +284,7 @@ class Protocol(abc.ABC):
         words.update(entry.dirty_words)
         entry.page.words = words
         entry.state = PageState.VALID
-        if self._obs:
+        if self._obs_events:
             self.probe.emit(
                 "page_fetch",
                 proc=proc,

@@ -21,6 +21,7 @@ from __future__ import annotations
 from typing import Dict, List, Optional, Set, Tuple
 
 from repro.common.types import BarrierId, LockId, PageId, ProcId
+from repro.hb.skeleton import E_MISS
 from repro.memory.diff import Diff
 from repro.memory.page import PageEntry, PageState
 from repro.network.message import MessageKind
@@ -68,7 +69,177 @@ BARRIER_KINDS: FlushKinds = (
 )
 
 
-class EagerProtocol(Protocol):
+class BatchedEagerMixin:
+    """Tape-driven batched replay shared by the eager family (EI/EU/EW).
+
+    Unlike the lazy kernels, the eager ones keep no page tables or
+    directory at replay time: every miss, write fault, and flush outcome
+    was precomputed into an :class:`~repro.hb.skeleton.EagerTape` (one
+    per policy, memoized on the batch plan), because eager state
+    evolution depends only on (compiled trace, n_procs, policy) and the
+    cost model only sizes wires. Each run instruction maps to exactly
+    one kernel call; the kernel drains every tape record tagged at or
+    before its instruction index *first*, so a miss forced mid-span by a
+    remote flush replays at the per-event point — outside the following
+    sync's probe attribution window, in the pre-completion epoch.
+
+    Certification mirrors the lazy family: a subclass is driven by the
+    kernels only if it *is* the certified class or overrides none of the
+    ``_BATCHED_GUARDED`` hooks; anything else silently falls back to the
+    per-event interpreter, which stays the bit-identical reference.
+    """
+
+    #: The class whose per-event semantics the tape encodes; subclasses
+    #: that override nothing guarded inherit its certification.
+    _batched_kernel_class: Optional[type] = None
+    _BATCHED_GUARDED: Tuple[str, ...] = ()
+
+    def supports_batched_runs(self) -> bool:
+        kernel = self._batched_kernel_class
+        if kernel is None:
+            return False
+        cls = type(self)
+        if cls is kernel:
+            return True
+        return all(
+            getattr(cls, name) is getattr(kernel, name) for name in self._BATCHED_GUARDED
+        )
+
+    def bind_batch_plan(self, plan) -> None:
+        """Swap the per-event entry points for the tape-replay kernels."""
+        tape = plan.eager_tape(self._batched_kernel_class.name)
+        assert tape.n_instructions == len(plan.runs), (
+            "eager tape out of step with the run program"
+        )
+        self._tape = tape.accesses
+        self._tape_len = len(tape.accesses)
+        self._tape_ptr = 0
+        self._ins_i = 0
+        self._page_fetch_bytes = self.costs.page_bytes(self.page_size)
+        self.read_touch = self._k_touch_run
+        self._k_write_run = self._k_span_run
+        self._k_full_run = self._k_span_run
+        self.acquire = self._k_acquire
+        self.release = self._k_release
+        self.barrier = self._k_barrier
+        self.finish = self._k_finish
+        self._bind_flush_replay(tape)
+
+    def _bind_flush_replay(self, tape) -> None:
+        """EI/EU hook their sync flushes onto the tape's flush records;
+        EW's per-event sync hooks are already replay-exact (no flushes),
+        so its override is a no-op."""
+
+    # -- run kernels ---------------------------------------------------------
+
+    def _k_touch_run(self, proc: ProcId, page: PageId) -> None:
+        i = self._ins_i
+        self._ins_i = i + 1
+        if self._tape_ptr < self._tape_len and self._tape[self._tape_ptr][0] <= i:
+            self._k_replay(i)
+
+    def _k_span_run(self, proc: ProcId, page: PageId, words) -> None:
+        i = self._ins_i
+        self._ins_i = i + 1
+        if self._tape_ptr < self._tape_len and self._tape[self._tape_ptr][0] <= i:
+            self._k_replay(i)
+
+    def _k_acquire(self, proc: ProcId, lock: LockId) -> None:
+        i = self._ins_i
+        self._ins_i = i + 1
+        if self._tape_ptr < self._tape_len and self._tape[self._tape_ptr][0] <= i:
+            self._k_replay(i)
+        Protocol.acquire(self, proc, lock)
+
+    def _k_release(self, proc: ProcId, lock: LockId) -> None:
+        i = self._ins_i
+        self._ins_i = i + 1
+        if self._tape_ptr < self._tape_len and self._tape[self._tape_ptr][0] <= i:
+            self._k_replay(i)
+        Protocol.release(self, proc, lock)
+
+    def _k_barrier(self, proc: ProcId, barrier: BarrierId) -> None:
+        i = self._ins_i
+        self._ins_i = i + 1
+        if self._tape_ptr < self._tape_len and self._tape[self._tape_ptr][0] <= i:
+            self._k_replay(i)
+        Protocol.barrier(self, proc, barrier)
+
+    def _k_finish(self) -> None:
+        # Records past the last instruction carry tag n_instructions.
+        if self._tape_ptr < self._tape_len:
+            self._k_replay(self._ins_i)
+
+    def _k_replay(self, i: int) -> None:
+        """Replay every tape record tagged at or before instruction ``i``."""
+        tape = self._tape
+        ptr = self._tape_ptr
+        n = self._tape_len
+        obs = self._obs
+        events = self._obs_events
+        probe = self.probe
+        send = self.network.send
+        page_bytes = self._page_fetch_bytes
+        while ptr < n:
+            rec = tape[ptr]
+            if rec[0] > i:
+                break
+            ptr += 1
+            if rec[1] == E_MISS:
+                _, _, proc, page, cold, server, forward = rec
+                if cold:
+                    self.cold_misses += 1
+                else:
+                    self.invalid_misses += 1
+                if obs:
+                    probe.page_fault(proc, page, cold)
+                if forward is None:
+                    send(MessageKind.PAGE_REQUEST, proc, server)
+                else:
+                    send(MessageKind.PAGE_REQUEST, proc, forward)
+                    send(MessageKind.PAGE_FORWARD, forward, server)
+                send(MessageKind.PAGE_REPLY, server, proc, payload_bytes=page_bytes)
+                if events:
+                    probe.emit(
+                        "page_fetch", proc=proc, page=page, server=server, bytes=page_bytes
+                    )
+            else:  # E_WFAULT (EW only)
+                _, _, proc, page, miss, holders, ping = rec
+                self.write_faults += 1
+                if events:
+                    probe.emit("write_fault", proc=proc, page=page)
+                if miss is not None:
+                    cold, server, forward = miss
+                    if cold:
+                        self.cold_misses += 1
+                    else:
+                        self.invalid_misses += 1
+                    if obs:
+                        probe.page_fault(proc, page, cold)
+                    if forward is None:
+                        send(MessageKind.PAGE_REQUEST, proc, server)
+                    else:
+                        send(MessageKind.PAGE_REQUEST, proc, forward)
+                        send(MessageKind.PAGE_FORWARD, forward, server)
+                    send(MessageKind.PAGE_REPLY, server, proc, payload_bytes=page_bytes)
+                    if events:
+                        probe.emit(
+                            "page_fetch",
+                            proc=proc,
+                            page=page,
+                            server=server,
+                            bytes=page_bytes,
+                        )
+                notice_bytes = self.costs.write_notice_bytes
+                for holder in holders:
+                    send(MessageKind.WRITE_NOTICE, proc, holder, control_bytes=notice_bytes)
+                    send(MessageKind.RELEASE_ACK, holder, proc)
+                if ping:
+                    self.ping_pongs += 1
+        self._tape_ptr = ptr
+
+
+class EagerProtocol(BatchedEagerMixin, Protocol):
     """Common eager implementation; EI/EU differ in what a flush pushes."""
 
     lazy = False
@@ -89,7 +260,7 @@ class EagerProtocol(Protocol):
         if not dirty_entries:
             return
         self.flushes += 1
-        if self._obs:
+        if self._obs_events:
             self.probe.emit("flush", proc=proc, count=len(dirty_entries))
         index = self._flush_counter[proc]
         self._flush_counter[proc] += 1
@@ -136,7 +307,7 @@ class EagerProtocol(Protocol):
                     payload += wire
                 self.network.send(update_kind, proc, dest, payload_bytes=payload)
                 self._apply_updates(dest, diffs)
-                if self._obs:
+                if self._obs_events:
                     self.probe.emit(
                         "update_push", proc=proc, dest=dest, count=len(diffs), bytes=payload
                     )
@@ -144,7 +315,7 @@ class EagerProtocol(Protocol):
                 control = self.costs.notices_bytes(len(diffs))
                 self.network.send(notice_kind, proc, dest, control_bytes=control)
                 self._apply_invalidations(dest, [diff.page for diff in diffs])
-                if self._obs:
+                if self._obs_events:
                     self.probe.emit(
                         "notices_send", proc=proc, dest=dest, count=len(diffs), bytes=control
                     )
@@ -225,3 +396,112 @@ class EagerProtocol(Protocol):
     def _on_barrier_complete(self, barrier: BarrierId) -> None:
         for proc in self.barriers.exit_targets():
             self.network.send(MessageKind.BARRIER_EXIT, self.barriers.master, proc)
+
+    # -- batched flush replay ------------------------------------------------
+
+    def _bind_flush_replay(self, tape) -> None:
+        # Rebinding the sync *hooks* (not the wrappers) keeps the flush
+        # replay inside the acquire/release/barrier probe attribution
+        # window, exactly like the per-event path.
+        self._next_flush = iter(tape.flushes).__next__
+        self._on_release = self._k_flush_release
+        self._on_barrier_arrive = self._k_flush_barrier
+
+    def _k_flush_release(self, proc: ProcId, lock: LockId) -> None:
+        self._k_flush(proc, UNLOCK_KINDS)
+
+    def _k_flush_barrier(self, proc: ProcId, barrier: BarrierId) -> None:
+        self._k_flush(proc, BARRIER_KINDS)
+        if proc != self.barriers.master:
+            self.network.send(MessageKind.BARRIER_ARRIVAL, proc, self.barriers.master)
+
+    def _k_flush(self, proc: ProcId, kinds: FlushKinds) -> None:
+        """Replay one precomputed flush outcome (see EagerTape)."""
+        rec = self._next_flush()
+        if rec is None:
+            return
+        notice_kind, update_kind, ack_kind, reconcile_kind = kinds
+        count, excess, pushes = rec
+        self.flushes += 1
+        obs = self._obs_events
+        probe = self.probe
+        if obs:
+            probe.emit("flush", proc=proc, count=count)
+        costs = self.costs
+        send = self.network.send
+        header_bytes = costs.diff_run_header_bytes
+        word_bytes = costs.word_bytes
+        for page, owner, n_runs, n_words, dests in excess:
+            self.reconciles += 1
+            send(
+                reconcile_kind,
+                proc,
+                owner,
+                payload_bytes=n_runs * header_bytes + n_words * word_bytes,
+            )
+            send(ack_kind, owner, proc)
+            if dests:
+                one_notice = costs.notices_bytes(1)
+                for dest in dests:
+                    send(notice_kind, proc, dest, control_bytes=one_notice)
+                    send(ack_kind, dest, proc)
+        if not pushes:
+            return
+        if self.update:
+            for dest, n_diffs, runs_total, words_total in pushes:
+                payload = runs_total * header_bytes + words_total * word_bytes
+                send(update_kind, proc, dest, payload_bytes=payload)
+                if obs:
+                    probe.emit(
+                        "update_push", proc=proc, dest=dest, count=n_diffs, bytes=payload
+                    )
+                send(ack_kind, dest, proc)
+        else:
+            for dest, n_diffs, _runs_total, _words_total in pushes:
+                control = costs.notices_bytes(n_diffs)
+                send(notice_kind, proc, dest, control_bytes=control)
+                if obs:
+                    probe.emit(
+                        "notices_send", proc=proc, dest=dest, count=n_diffs, bytes=control
+                    )
+                send(ack_kind, dest, proc)
+
+
+#: Hooks whose override invalidates the eager tape: everything the tape
+#: precomputes (miss routing, flush fan-out, directory evolution) and
+#: everything the kernels bypass (the per-event entry points). A
+#: subclass touching any of these silently falls back to per-event.
+EagerProtocol._BATCHED_GUARDED = (
+    "read",
+    "read_touch",
+    "write",
+    "acquire",
+    "release",
+    "barrier",
+    "finish",
+    "_note_write",
+    "_service_miss",
+    "_handle_miss",
+    "_fetch_page_copy",
+    "_flush",
+    "_reconcile",
+    "_apply_updates",
+    "_apply_invalidations",
+    "_post_flush_page",
+    "_on_acquire",
+    "_on_release",
+    "_on_barrier_arrive",
+    "_on_barrier_complete",
+    "bind_batch_plan",
+    "_bind_flush_replay",
+    "_k_touch_run",
+    "_k_span_run",
+    "_k_acquire",
+    "_k_release",
+    "_k_barrier",
+    "_k_finish",
+    "_k_replay",
+    "_k_flush",
+    "_k_flush_release",
+    "_k_flush_barrier",
+)

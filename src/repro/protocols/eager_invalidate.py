@@ -18,3 +18,8 @@ class EagerInvalidate(EagerProtocol):
 
     name = "EI"
     update = False
+
+
+# EI is certified for the tape-driven batched kernels; subclasses keep
+# the certification only while every guarded hook stays untouched.
+EagerInvalidate._batched_kernel_class = EagerInvalidate

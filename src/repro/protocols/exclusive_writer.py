@@ -34,9 +34,10 @@ from repro.config import SimConfig
 from repro.memory.page import PageEntry, PageState
 from repro.network.message import MessageKind
 from repro.protocols.base import Protocol
+from repro.protocols.eager_base import BatchedEagerMixin
 
 
-class ExclusiveWriter(Protocol):
+class ExclusiveWriter(BatchedEagerMixin, Protocol):
     """Ivy-style sequentially consistent, single-writer protocol."""
 
     name = "EW"
@@ -94,7 +95,7 @@ class ExclusiveWriter(Protocol):
 
     def _acquire_ownership(self, proc: ProcId, page: PageId, entry: PageEntry) -> None:
         self.write_faults += 1
-        if self._obs:
+        if self._obs_events:
             self.probe.emit("write_fault", proc=proc, page=page)
         if entry.state != PageState.VALID:
             self._service_miss(proc, page, entry)
@@ -140,3 +141,37 @@ class ExclusiveWriter(Protocol):
     def _on_barrier_complete(self, barrier: BarrierId) -> None:
         for proc in self.barriers.exit_targets():
             self.network.send(MessageKind.BARRIER_EXIT, self.barriers.master, proc)
+
+
+#: EW's tape precomputes miss routing and write-fault fan-out, and its
+#: per-event sync hooks stay live at replay (they touch no page state),
+#: so the guard list covers the access paths plus the hooks themselves.
+ExclusiveWriter._BATCHED_GUARDED = (
+    "read",
+    "read_touch",
+    "write",
+    "acquire",
+    "release",
+    "barrier",
+    "finish",
+    "_note_write",
+    "_service_miss",
+    "_handle_miss",
+    "_fetch",
+    "_fetch_page_copy",
+    "_acquire_ownership",
+    "_on_acquire",
+    "_on_release",
+    "_on_barrier_arrive",
+    "_on_barrier_complete",
+    "bind_batch_plan",
+    "_bind_flush_replay",
+    "_k_touch_run",
+    "_k_span_run",
+    "_k_acquire",
+    "_k_release",
+    "_k_barrier",
+    "_k_finish",
+    "_k_replay",
+)
+ExclusiveWriter._batched_kernel_class = ExclusiveWriter

@@ -72,7 +72,7 @@ class HomeLazy(LazyProtocol):
             )
             self.network.send(MessageKind.RELEASE_ACK, home, proc)
             self.home_flushes += 1
-            if self._obs:
+            if self._obs_events:
                 self.probe.emit(
                     "home_flush",
                     proc=proc,

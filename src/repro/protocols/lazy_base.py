@@ -157,7 +157,7 @@ class LazyProtocol(Protocol):
             store.add(interval)
         state.vc = vc
         self.intervals_closed += 1
-        if self._obs:
+        if self._obs_events:
             self._emit_interval_close(proc, index, interval)
         return interval
 
@@ -181,7 +181,7 @@ class LazyProtocol(Protocol):
         self.store.add(interval)
         state.vc = vc
         self.intervals_closed += 1
-        if self._obs:
+        if self._obs_events:
             self._emit_interval_close(proc, index, interval if interval.diffs else None)
         return interval
 
@@ -327,51 +327,38 @@ class LazyProtocol(Protocol):
         request_kind: MessageKind,
         reply_kind: MessageKind,
     ) -> int:
-        """Indexed fetch: one memoized plan per page, merged across pages."""
+        """Indexed fetch: one memoized run-level plan over the faulting pages."""
         pending = self.lazy_state[proc].pending
         planner = self._planner
-        plans = []
+        items = []
         for page in pages:
             interval_ids = pending.pop(page, None)
             if interval_ids:
-                plans.append(planner.plan(page, frozenset(interval_ids)))
-        if not plans:
+                items.append((page, frozenset(interval_ids)))
+        if not items:
             return 0
-        obs = self._obs
+        obs = self._obs_events
         send = self.network.send
-        if len(plans) == 1:
+        if len(items) == 1:
+            page, interval_ids = items[0]
+            plans = (planner.plan(page, interval_ids),)
             by_server = plans[0].by_server
-            for server, count, payload in by_server:
-                send(request_kind, proc, server)
-                send(reply_kind, server, proc, payload_bytes=payload)
-                self.diffs_fetched += count
-                self.diff_bytes_fetched += payload
-                if obs:
-                    self.probe.emit(
-                        "diff_fetch", proc=proc, server=server, count=count, bytes=payload
-                    )
-            m = len(by_server)
         else:
-            merged: Dict[ProcId, List[int]] = {}
-            for plan in plans:
-                for server, count, payload in plan.by_server:
-                    totals = merged.get(server)
-                    if totals is None:
-                        merged[server] = [count, payload]
-                    else:
-                        totals[0] += count
-                        totals[1] += payload
-            for server in sorted(merged):
-                count, payload = merged[server]
-                send(request_kind, proc, server)
-                send(reply_kind, server, proc, payload_bytes=payload)
-                self.diffs_fetched += count
-                self.diff_bytes_fetched += payload
-                if obs:
-                    self.probe.emit(
-                        "diff_fetch", proc=proc, server=server, count=count, bytes=payload
-                    )
-            m = len(merged)
+            # The cross-page server merge is memoized per run shape —
+            # repeated barrier crossings and hand-offs are a dict hit.
+            run_plan = planner.plan_run(tuple(items))
+            plans = run_plan.plans
+            by_server = run_plan.by_server
+        for server, count, payload in by_server:
+            send(request_kind, proc, server)
+            send(reply_kind, server, proc, payload_bytes=payload)
+            self.diffs_fetched += count
+            self.diff_bytes_fetched += payload
+            if obs:
+                self.probe.emit(
+                    "diff_fetch", proc=proc, server=server, count=count, bytes=payload
+                )
+        m = len(by_server)
         table = self.procs[proc].pages
         for plan in plans:
             entry = table.entry(plan.page)
@@ -414,7 +401,7 @@ class LazyProtocol(Protocol):
             self.network.send(reply_kind, server, proc, payload_bytes=payload)
             self.diffs_fetched += len(diffs)
             self.diff_bytes_fetched += payload
-            if self._obs:
+            if self._obs_events:
                 self.probe.emit(
                     "diff_fetch", proc=proc, server=server, count=len(diffs), bytes=payload
                 )
@@ -542,7 +529,7 @@ class LazyProtocol(Protocol):
                 diff.apply_to(entry.page.words)
             # A concurrent local writer's uncommitted words survive merges.
             entry.page.words.update(entry.dirty_words)
-            if self._obs:
+            if self._obs_events:
                 self.probe.emit("diff_apply", proc=proc, page=page, count=len(page_diffs))
 
     # -- access misses ---------------------------------------------------------
@@ -585,7 +572,7 @@ class LazyProtocol(Protocol):
         notices = self._notices_for_gap(grantor_vc, state.vc)
         self.notices_sent += len(notices)
         notice_bytes = len(notices) * self._notice_bytes_each
-        if self._obs and notices:
+        if self._obs_events and notices:
             self.probe.emit(
                 "notices_send", proc=grantor, dest=proc, count=len(notices), bytes=notice_bytes
             )
@@ -629,7 +616,7 @@ class LazyProtocol(Protocol):
             self.notices_sent += len(notices)
             vc_bytes = self._vc_bytes
             notice_bytes = len(notices) * self._notice_bytes_each
-            if self._obs and notices:
+            if self._obs_events and notices:
                 self.probe.emit(
                     "notices_send",
                     proc=proc,
@@ -665,7 +652,7 @@ class LazyProtocol(Protocol):
         merged = self._episode_clock(barrier)
         self._episodes[barrier] = []
         vc_bytes = self._vc_bytes
-        obs = self._obs
+        obs = self._obs_events
         for proc in range(self.n_procs):
             state = self.lazy_state[proc]
             notices = self._notices_for_gap(merged, state.vc)
@@ -721,7 +708,7 @@ class LazyProtocol(Protocol):
             self._collect_garbage_indexed()
         else:
             self._collect_garbage_reference()
-        if self._obs:
+        if self._obs_events:
             self.probe.emit(
                 "gc_sweep",
                 bytes=self.gc_collected_bytes - collected_before,
@@ -857,7 +844,7 @@ class LazyProtocol(Protocol):
             dirty_registry.clear()
         self.lazy_state[proc].vc = vc
         self.intervals_closed += 1
-        if self._obs:
+        if self._obs_events:
             self._emit_interval_close(proc, index, interval)
         if interval is not None:
             self._post_close(proc, interval)
@@ -937,7 +924,7 @@ class LazyProtocol(Protocol):
         n_notices = record[4]
         self.notices_sent += n_notices
         notice_bytes = n_notices * self._notice_bytes_each
-        if self._obs and n_notices:
+        if self._obs_events and n_notices:
             self.probe.emit(
                 "notices_send", proc=grantor, dest=proc, count=n_notices, bytes=notice_bytes
             )
@@ -966,7 +953,7 @@ class LazyProtocol(Protocol):
             master = self.barriers.master
             vc_bytes = self._vc_bytes
             notice_bytes = n_notices * self._notice_bytes_each
-            if self._obs and n_notices:
+            if self._obs_events and n_notices:
                 self.probe.emit(
                     "notices_send",
                     proc=proc,
@@ -995,7 +982,7 @@ class LazyProtocol(Protocol):
         self._pending_complete = None
         master = self.barriers.master
         vc_bytes = self._vc_bytes
-        obs = self._obs
+        obs = self._obs_events
         send = self.network.send
         piggyback = self.config.piggyback_notices
         pull_kinds = (MessageKind.BARRIER_UPDATE_REQUEST, MessageKind.BARRIER_UPDATE)

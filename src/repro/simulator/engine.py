@@ -100,9 +100,11 @@ class Engine:
             compiled = self.trace.compiled(self.config.page_size)
             timings["compile_s"] = time.perf_counter() - t0
         config = self.config
+        # The coherence-index requirement is per-family: the lazy
+        # protocols answer supports_batched_runs() False when the index
+        # is off, while the eager tapes never need it.
         if (
             config.use_batched_kernels
-            and config.use_coherence_index
             and not config.record_values
             and self.protocol.supports_batched_runs()
         ):
@@ -182,10 +184,12 @@ class Engine:
         )
 
         t0 = time.perf_counter()
-        plan = batch_plan(compiled, self.trace.n_procs)
-        timings["batch_plan_s"] = time.perf_counter() - t0
+        plan = batch_plan(compiled, self.trace.n_procs, trace=self.trace)
         protocol = self.protocol
+        # Binding is part of plan preparation (eager protocols may build
+        # their replay tape here), so it shares the timing bucket.
         protocol.bind_batch_plan(plan)
+        timings["batch_plan_s"] = time.perf_counter() - t0
         read_touch = protocol.read_touch
         write_run = protocol._k_write_run
         full_run = protocol._k_full_run

@@ -162,6 +162,12 @@ def _run_sweep_cell(cell: Tuple[str, int]) -> Tuple[str, int, SimulationResult]:
     return protocol, page_size, engine.run()
 
 
+#: (jobs, cpus) pairs already logged by the clamp below — bench loops
+#: call run_sweep with the same oversubscribed jobs dozens of times per
+#: process, and one notice per distinct request is plenty.
+_clamp_logged: set = set()
+
+
 def run_sweep(
     trace: TraceStream,
     protocols: Optional[Sequence[str]] = None,
@@ -188,9 +194,14 @@ def run_sweep(
         # is pure CPU), so oversubscribed requests are clamped.
         cpus = os.cpu_count() or 1
         if jobs > cpus:
-            logger.info(
-                "sweep: clamping jobs=%d to %d (os.cpu_count())", jobs, cpus
-            )
+            if (jobs, cpus) not in _clamp_logged:
+                _clamp_logged.add((jobs, cpus))
+                logger.info(
+                    "sweep: clamping jobs=%d to effective cpu_count=%d "
+                    "(logged once per process)",
+                    jobs,
+                    cpus,
+                )
             jobs = cpus
     logger.info(
         "sweep %s: %d protocols x %d page sizes%s%s",

@@ -307,7 +307,11 @@ def segment_runs(compiled: CompiledTrace, n_procs: int) -> RunProgram:
 
 # -- on-disk cache (.trcb-adjacent) -----------------------------------------
 
-_ENV_VAR = "REPRO_TRACE_CACHE"
+#: Environment variable naming the shared trace/run-program cache
+#: directory. Also consulted by :func:`repro.hb.skeleton.batch_plan` to
+#: decide whether batched replays may read/write ``.runsb`` files.
+CACHE_ENV_VAR = "REPRO_TRACE_CACHE"
+_ENV_VAR = CACHE_ENV_VAR
 _DEFAULT_DIR = Path.home() / ".cache" / "repro-lrc" / "traces"
 
 

@@ -215,7 +215,7 @@ class TestDiskCache:
         cached = cached_run_program(trace, 1024, trace.n_procs, cache_dir=tmp_path)
         # Hand the engine a plan built over the disk-cached program.
         compiled._batch_plans[trace.n_procs] = BatchPlan(
-            compiled, cached, build_skeleton(compiled, trace.n_procs)
+            compiled, trace.n_procs, runs=cached, skeleton=build_skeleton(compiled, trace.n_procs)
         )
         config = SimConfig(n_procs=trace.n_procs, page_size=1024)
         from_disk = Engine(trace, config, "LI", compiled=compiled).run()

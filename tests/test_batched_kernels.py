@@ -24,6 +24,7 @@ from tests.test_fastpath_equivalence import result_fields
 
 LAZY_PROTOCOLS = ("LI", "LU", "LH", "HLRC")
 EAGER_PROTOCOLS = ("EI", "EU", "EW")
+ALL_BATCHED = LAZY_PROTOCOLS + EAGER_PROTOCOLS
 
 
 def run_batched_and_reference(trace, protocol, **options):
@@ -36,7 +37,7 @@ def run_batched_and_reference(trace, protocol, **options):
 
 
 class TestBatchedEquivalence:
-    @pytest.mark.parametrize("protocol", LAZY_PROTOCOLS)
+    @pytest.mark.parametrize("protocol", ALL_BATCHED)
     @pytest.mark.parametrize("page_size", [512, 2048])
     def test_apps_bit_identical(self, app_trace, protocol, page_size):
         batched, reference = run_batched_and_reference(
@@ -44,7 +45,7 @@ class TestBatchedEquivalence:
         )
         assert result_fields(batched) == result_fields(reference)
 
-    @pytest.mark.parametrize("protocol", LAZY_PROTOCOLS)
+    @pytest.mark.parametrize("protocol", ALL_BATCHED)
     def test_lock_chain_bit_identical(self, protocol):
         trace = lock_chain_trace(n_procs=4, rounds=3)
         batched, reference = run_batched_and_reference(trace, protocol, page_size=512)
@@ -61,7 +62,7 @@ class TestBatchedEquivalence:
         ],
         ids=lambda options: next(iter(options)),
     )
-    @pytest.mark.parametrize("protocol", LAZY_PROTOCOLS)
+    @pytest.mark.parametrize("protocol", ALL_BATCHED)
     def test_config_ablations_bit_identical(self, water_trace, protocol, options):
         batched, reference = run_batched_and_reference(
             water_trace, protocol, page_size=1024, **options
@@ -84,7 +85,7 @@ class TestBatchedEquivalence:
 
 
 class TestBatchedTelemetry:
-    @pytest.mark.parametrize("protocol", LAZY_PROTOCOLS)
+    @pytest.mark.parametrize("protocol", ALL_BATCHED)
     def test_event_streams_identical(self, water_trace, protocol):
         streams = []
         for flag in (True, False):
@@ -116,16 +117,43 @@ class TestBatchedTelemetry:
 
 class TestBatchedGate:
     @pytest.mark.parametrize("protocol", EAGER_PROTOCOLS)
-    def test_eager_family_reports_no_support(self, protocol):
+    def test_eager_family_reports_support(self, protocol):
         instance = protocol_class(protocol)(SimConfig(n_procs=4))
-        assert not instance.supports_batched_runs()
+        assert instance.supports_batched_runs()
 
     @pytest.mark.parametrize("protocol", EAGER_PROTOCOLS)
-    def test_eager_family_unaffected_by_flag(self, water_trace, protocol):
+    def test_eager_family_flag_equivalence(self, water_trace, protocol):
         batched, reference = run_batched_and_reference(
             water_trace, protocol, page_size=1024
         )
         assert result_fields(batched) == result_fields(reference)
+
+    def test_eager_supports_without_coherence_index(self):
+        # The eager tapes never consult the interval store, so the
+        # coherence-index flag (a lazy-family concern) must not gate them.
+        for protocol in EAGER_PROTOCOLS:
+            instance = protocol_class(protocol)(
+                SimConfig(n_procs=4, use_coherence_index=False)
+            )
+            assert instance.supports_batched_runs(), protocol
+
+    def test_eager_hook_overriding_subclass_falls_back(self, water_trace):
+        from repro.protocols.eager_invalidate import EagerInvalidate
+
+        seen = []
+
+        class Counting(EagerInvalidate):
+            def _handle_miss(self, proc, page, entry):
+                seen.append((proc, page))
+                super()._handle_miss(proc, page, entry)
+
+        instance = Counting(SimConfig(n_procs=4))
+        assert not instance.supports_batched_runs()
+        config = SimConfig(n_procs=water_trace.n_procs, page_size=1024)
+        counted = Engine(water_trace, config, Counting).run()
+        stock = Engine(water_trace, config, "EI").run()
+        assert seen
+        assert result_fields(counted) == result_fields(stock)
 
     def test_reference_index_config_reports_no_support(self):
         cls = protocol_class("LI")
@@ -184,7 +212,7 @@ class TestBatchedEdgeTraces:
             events += [Event.acquire(proc, 0), Event.release(proc, 0)]
         events += [Event.at_barrier(proc, 0) for proc in range(3)]
         trace = build_trace(3, events)
-        for protocol in LAZY_PROTOCOLS:
+        for protocol in ALL_BATCHED:
             batched, reference = run_batched_and_reference(
                 trace, protocol, page_size=512
             )
@@ -195,7 +223,7 @@ class TestBatchedEdgeTraces:
         # exchanged, and the batched path consumes zero sync records.
         events = [Event.write(0, 64), Event.read(1, 64), Event.write(1, 128)]
         trace = build_trace(2, events)
-        for protocol in LAZY_PROTOCOLS:
+        for protocol in ALL_BATCHED:
             batched, reference = run_batched_and_reference(
                 trace, protocol, page_size=512
             )
@@ -212,7 +240,7 @@ class TestBatchedEdgeTraces:
             Event.release(1, 0),
         ]
         trace = build_trace(2, events)
-        for protocol in LAZY_PROTOCOLS:
+        for protocol in ALL_BATCHED:
             batched, reference = run_batched_and_reference(
                 trace, protocol, page_size=512
             )
@@ -225,3 +253,104 @@ class TestBatchedEdgeTraces:
         engine.run()
         with pytest.raises(SimulatorError):
             engine.run()
+
+
+def excess_invalidator_trace():
+    """False sharing driving EI through its reconcile path.
+
+    p1 writes page 0 and is then invalidated by p0's flush while still
+    holding unflushed modifications; p2 re-fetches afterwards, so p1's
+    eventual flush must ship its diff to the owner (p0) *and* invalidate
+    the late reader (p2) — the paper's excess-invalidator ``v`` term.
+    """
+    events = [
+        Event.acquire(0, 0),
+        Event.write(0, 0),
+        Event.release(0, 0),  # p0 becomes owner of page 0
+        Event.write(1, 8),  # p1 caches page 0, holds dirty words
+        Event.read(2, 16),  # p2 caches page 0
+        Event.acquire(0, 0),
+        Event.write(0, 0),
+        Event.release(0, 0),  # invalidates p1 (still dirty) and p2
+        Event.read(2, 16),  # p2 re-fetches: a post-invalidation cacher
+        Event.acquire(1, 0),
+        Event.release(1, 0),  # p1's flush: reconcile + excess notices
+        Event.at_barrier(0, 0),
+        Event.at_barrier(1, 0),
+        Event.at_barrier(2, 0),
+    ]
+    return build_trace(3, events)
+
+
+def ping_pong_trace(rounds: int = 4):
+    """Two writers alternating on one falsely shared page (§4.3.1)."""
+    events = []
+    for _ in range(rounds):
+        events += [Event.write(0, 0), Event.write(1, 8)]
+    events += [Event.at_barrier(0, 0), Event.at_barrier(1, 0)]
+    return build_trace(2, events)
+
+
+def multi_page_flush_trace():
+    """One release flushing several dirty pages to several cachers."""
+    events = [
+        # Everyone caches pages 0 and 1 (page_size=512: addrs 0 / 512).
+        Event.read(1, 0),
+        Event.read(1, 512),
+        Event.read(2, 0),
+        Event.read(2, 512),
+        Event.acquire(0, 0),
+        Event.write(0, 0),
+        Event.write(0, 16),
+        Event.write(0, 512),
+        Event.release(0, 0),  # merged two-diff fan-out to p1 and p2
+        Event.at_barrier(0, 0),
+        Event.at_barrier(1, 0),
+        Event.at_barrier(2, 0),
+    ]
+    return build_trace(3, events)
+
+
+class TestEagerHandTraces:
+    """The eager-specific corner cases the app traces may not hit."""
+
+    def test_excess_invalidator_reconciles(self):
+        trace = excess_invalidator_trace()
+        batched, reference = run_batched_and_reference(trace, "EI", page_size=512)
+        # The trace actually exercises the path it was built for.
+        assert reference.counters["reconciles"] > 0
+        assert reference.invalid_misses > 0
+        assert result_fields(batched) == result_fields(reference)
+
+    def test_ew_ping_pong(self):
+        trace = ping_pong_trace()
+        batched, reference = run_batched_and_reference(trace, "EW", page_size=512)
+        assert reference.counters["write_faults"] > 0
+        assert reference.counters["ping_pongs"] > 0
+        assert result_fields(batched) == result_fields(reference)
+
+    @pytest.mark.parametrize("protocol", EAGER_PROTOCOLS)
+    def test_multi_page_flush(self, protocol):
+        trace = multi_page_flush_trace()
+        batched, reference = run_batched_and_reference(trace, protocol, page_size=512)
+        assert result_fields(batched) == result_fields(reference)
+
+    @pytest.mark.parametrize("protocol", EAGER_PROTOCOLS)
+    @pytest.mark.parametrize(
+        "make_trace",
+        [excess_invalidator_trace, ping_pong_trace, multi_page_flush_trace],
+        ids=["excess", "pingpong", "multipage"],
+    )
+    def test_telemetry_streams_identical(self, protocol, make_trace):
+        streams = []
+        for flag in (True, False):
+            sink = MemorySink()
+            simulate(
+                make_trace(),
+                protocol,
+                page_size=512,
+                probe=RecordingProbe(sinks=[sink]),
+                use_batched_kernels=flag,
+            )
+            streams.append(sink.events)
+        assert streams[0] == streams[1]

@@ -20,7 +20,9 @@ from tests.conftest import build_trace
 
 
 def run(events, n_procs=4, page_size=1024):
-    config = SimConfig(n_procs=n_procs, page_size=page_size)
+    # White-box suites pin the per-event reference path: batched eager
+    # kernels replay a tape without maintaining page-table state.
+    config = SimConfig(n_procs=n_procs, page_size=page_size, use_batched_kernels=False)
     engine = Engine(build_trace(n_procs, events), config, ExclusiveWriter)
     return engine.protocol, engine.run()
 

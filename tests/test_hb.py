@@ -185,3 +185,52 @@ class TestHbGraph:
 class TestAppsAreRaceFree:
     def test_app_traces_have_no_races(self, app_trace):
         assert HbGraph(app_trace).races(max_reported=1) == []
+
+
+class TestRunFetchPlanner:
+    """Run-level fetch plans must equal folding per-page plans by hand."""
+
+    @staticmethod
+    def _planner_and_pages():
+        from repro.hb.skeleton import batch_plan
+        from repro.network.costs import CostModel
+        from tests.conftest import small_trace
+
+        trace = small_trace("water")
+        plan = batch_plan(trace.compiled(1024), trace.n_procs)
+        planner = plan.planner_for(CostModel(), True)
+        store = plan.store
+        pages = sorted(p for p in store._page_mods if store.page_mods(p))
+        return planner, store, pages
+
+    def test_run_plan_matches_per_page_merge(self):
+        planner, store, pages = self._planner_and_pages()
+        assert len(pages) >= 2
+        items = tuple((page, frozenset(store.page_mods(page))) for page in pages[:6])
+        run_plan = planner.plan_run(items)
+        merged = {}
+        for page, interval_ids in items:
+            for server, count, payload in planner.plan(page, interval_ids).by_server:
+                totals = merged.setdefault(server, [0, 0])
+                totals[0] += count
+                totals[1] += payload
+        expected = tuple((s, merged[s][0], merged[s][1]) for s in sorted(merged))
+        assert run_plan.by_server == expected
+        # Page plans ride along in faulting order for the apply loop.
+        assert tuple(p.page for p in run_plan.plans) == tuple(p for p, _ in items)
+
+    def test_run_plan_memoized(self):
+        planner, store, pages = self._planner_and_pages()
+        items = tuple((page, frozenset(store.page_mods(page))) for page in pages[:4])
+        assert planner.plan_run(items) is planner.plan_run(items)
+        # A different run shape is a different plan.
+        assert planner.plan_run(items[:1]) is not planner.plan_run(items)
+
+    def test_run_plan_subset_pending(self):
+        planner, store, pages = self._planner_and_pages()
+        page = next(p for p in pages if len(store.page_mods(p)) >= 2)
+        interval_ids = sorted(store.page_mods(page))
+        full = planner.plan_run(((page, frozenset(interval_ids)),))
+        sub = planner.plan_run(((page, frozenset(interval_ids[:1])),))
+        assert full is not sub
+        assert sub.by_server[0][1] == 1  # a single pending diff

@@ -17,6 +17,9 @@ PAGE = 1024
 
 
 def run(protocol_cls, events, n_procs=4, **options):
+    # White-box suites pin the per-event reference path: batched eager
+    # kernels replay a tape without maintaining page-table state.
+    options.setdefault("use_batched_kernels", False)
     config = SimConfig(n_procs=n_procs, page_size=PAGE, **options)
     engine = Engine(build_trace(n_procs, events), config, protocol_cls)
     return engine.protocol, engine.run()

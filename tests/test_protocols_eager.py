@@ -15,6 +15,12 @@ PAGE = 1024
 
 
 def run(protocol_cls, events, n_procs=4, **options):
+    # These suites inspect protocol internals (page tables, copysets)
+    # after the run, so they pin the per-event reference path: the
+    # batched eager kernels replay a precomputed tape and do not
+    # maintain that state (equivalence of results is pinned separately
+    # in tests/test_batched_kernels.py).
+    options.setdefault("use_batched_kernels", False)
     config = SimConfig(n_procs=n_procs, page_size=PAGE, **options)
     engine = Engine(build_trace(n_procs, events), config, protocol_cls)
     result = engine.run()

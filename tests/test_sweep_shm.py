@@ -202,20 +202,33 @@ class TestParallelSweepShm:
 
 
 class TestJobsClamp:
+    @pytest.fixture(autouse=True)
+    def _fresh_clamp_log(self, monkeypatch):
+        # The clamp notice dedupes per process; each test wants its own.
+        monkeypatch.setattr(sweep_module, "_clamp_logged", set())
+
     def test_jobs_clamped_to_cpu_count(self, water_trace, monkeypatch, caplog):
         monkeypatch.setattr(os, "cpu_count", lambda: 1)
         with caplog.at_level(logging.INFO, logger="repro.simulator.sweep"):
             sweep = run_sweep(water_trace, protocols=["LI"], page_sizes=[512], jobs=8)
-        assert any("clamping jobs=8 to 1" in record.getMessage()
+        assert any("clamping jobs=8 to effective cpu_count=1" in record.getMessage()
                    for record in caplog.records)
         # Clamped to 1 -> the serial path ran; the grid is still complete.
         assert set(sweep.grid) == {("LI", 512)}
+
+    def test_clamp_logged_once_per_process(self, water_trace, monkeypatch, caplog):
+        monkeypatch.setattr(os, "cpu_count", lambda: 1)
+        with caplog.at_level(logging.INFO, logger="repro.simulator.sweep"):
+            for _ in range(3):
+                run_sweep(water_trace, protocols=["LI"], page_sizes=[512], jobs=8)
+        clamp_lines = [r for r in caplog.records if "clamping" in r.getMessage()]
+        assert len(clamp_lines) == 1
 
     @NEEDS_FORK
     def test_clamp_keeps_pool_when_cores_allow(self, water_trace, monkeypatch, caplog):
         monkeypatch.setattr(os, "cpu_count", lambda: 2)
         with caplog.at_level(logging.INFO, logger="repro.simulator.sweep"):
             sweep = run_sweep(water_trace, protocols=["LI"], page_sizes=[512], jobs=5)
-        assert any("clamping jobs=5 to 2" in record.getMessage()
+        assert any("clamping jobs=5 to effective cpu_count=2" in record.getMessage()
                    for record in caplog.records)
         assert set(sweep.grid) == {("LI", 512)}
