@@ -83,11 +83,19 @@ PRE_TELEMETRY_EVENTS_PER_S = {"LI": 191_398, "LU": 179_506}
 NULL_OVERHEAD_LIMIT_PCT = 3.0
 #: Metrics-on recording cost bar: attaching a sink-less RecordingProbe
 #: (columnar metrics staging, drained once per barrier epoch) must stay
-#: under this fraction of the probe-off throughput.
-RECORDING_OVERHEAD_LIMIT_PCT = 15.0
+#: under this fraction of the probe-off throughput. Raised from 15% when
+#: the LazyTape landed: the probe-off baseline got ~1.8x faster, so the
+#: same staging work is a larger *fraction* even though the absolute
+#: recording cost per event fell (~0.18 -> ~0.15 us/event on LI).
+RECORDING_OVERHEAD_LIMIT_PCT = 20.0
 #: Protocols pinned by the batched-vs-reference section. The eager tapes
 #: (EI/EU/EW) ride next to the lazy skeleton kernels (LI/LU).
 BATCHED_PROTOCOLS = ("LI", "LU", "EI", "EU", "EW")
+#: Absolute batched-throughput floors (events/s) on the CI baseline
+#: host, established by the LazyTape sync replay. Unlike the relative
+#: regression tolerance these do not drift with the committed numbers:
+#: --check fails if the lazy family falls back under 1M events/s.
+BATCHED_FLOOR_EVENTS_PER_S = {"LI": 1_000_000, "LU": 1_000_000}
 
 
 def best_of(fn, rounds: int = ROUNDS) -> float:
@@ -284,6 +292,41 @@ def measure_telemetry(trace) -> dict:
     return out
 
 
+def profile_protocols(trace, top: int) -> Path:
+    """cProfile each protocol's simulation; write top-``top`` by tottime.
+
+    Keeps ROADMAP's "top profile entries" claims reproducible: the
+    report lands next to BENCH_core.json so the hot functions of record
+    can be re-derived on any host with one flag. Each protocol gets one
+    unprofiled warm-up run first so one-time work (trace compilation,
+    plan and tape construction, disk caches) doesn't drown the steady
+    state the throughput numbers measure.
+    """
+    import cProfile
+    import pstats
+
+    out_path = BENCH_PATH.with_name("BENCH_profile.txt")
+    buf = io.StringIO()
+    buf.write(
+        "# Per-protocol cProfile of simulate() on the BENCH_core water "
+        f"workload (top {top} by tottime; one warm-up run excluded).\n"
+        f"# Regenerate: scripts/bench_core.py --profile --profile-top {top}\n"
+    )
+    for protocol in BATCHED_PROTOCOLS:
+        simulate(trace, protocol, page_size=PAGE_SIZE)
+        profiler = cProfile.Profile()
+        profiler.enable()
+        simulate(trace, protocol, page_size=PAGE_SIZE)
+        profiler.disable()
+        buf.write(f"\n== {protocol} ==\n")
+        stats = pstats.Stats(profiler, stream=buf)
+        stats.sort_stats("tottime").print_stats(top)
+        print(f"profiled {protocol}")
+    out_path.write_text(buf.getvalue())
+    print(f"wrote {out_path}")
+    return out_path
+
+
 def check(trace) -> int:
     """Compare fresh throughput against the committed baseline."""
     if not BENCH_PATH.exists():
@@ -333,6 +376,15 @@ def check(trace) -> int:
         )
         if now < floor:
             failures.append(f"{protocol} batched")
+        absolute = BATCHED_FLOOR_EVENTS_PER_S.get(protocol)
+        if absolute is not None:
+            status = "ok" if now >= absolute else "UNDER FLOOR"
+            print(
+                f"check batched {protocol}: {now:,} vs absolute floor "
+                f"{absolute:,} events/s {status}"
+            )
+            if now < absolute:
+                failures.append(f"{protocol} batched floor")
     # The telemetry layer's contract: with no probe attached (the
     # default above), the null-recorder guards cost < 3% against the
     # pre-telemetry throughput recorded in the committed bench, and a
@@ -374,9 +426,25 @@ def main(argv=None) -> int:
         help="compare fresh throughput against the committed BENCH_core.json "
         "and exit non-zero on >20%% regression (does not rewrite the file)",
     )
+    parser.add_argument(
+        "--profile",
+        action="store_true",
+        help="cProfile each protocol's simulation and write the top-N "
+        "report (by tottime) next to BENCH_core.json, then exit",
+    )
+    parser.add_argument(
+        "--profile-top",
+        type=int,
+        default=25,
+        metavar="N",
+        help="rows per protocol in the --profile report (default 25)",
+    )
     args = parser.parse_args(argv)
 
     trace = cached_app_trace("water", cache_dir=TRACE_CACHE, **WORKLOAD)
+    if args.profile:
+        profile_protocols(trace, args.profile_top)
+        return 0
     if args.check:
         return check(trace)
 

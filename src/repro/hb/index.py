@@ -56,9 +56,13 @@ class FetchPlan:
             each, with the aggregate diff's run-length-encoded size.
         apply: the post-pruning diffs in happened-before order, ready to
             fold into a page copy.
+        total_diffs: sum of the per-server diff counts.
+        total_payload: sum of the per-server payload bytes — with
+            ``total_diffs``, the whole-fetch accounting the tape-mode
+            bulk path applies in one step instead of per server.
     """
 
-    __slots__ = ("page", "by_server", "apply")
+    __slots__ = ("page", "by_server", "apply", "total_diffs", "total_payload")
 
     def __init__(
         self,
@@ -69,6 +73,8 @@ class FetchPlan:
         self.page = page
         self.by_server = by_server
         self.apply = apply
+        self.total_diffs = sum(entry[1] for entry in by_server)
+        self.total_payload = sum(entry[2] for entry in by_server)
 
 
 class RunFetchPlan:
@@ -82,9 +88,12 @@ class RunFetchPlan:
         plans: the per-page :class:`FetchPlan`s, in faulting order —
             the apply loop and ``diff_apply`` emission still go page by
             page.
+        total_diffs: sum of the per-server diff counts.
+        total_payload: sum of the per-server payload bytes (see
+            :class:`FetchPlan`).
     """
 
-    __slots__ = ("by_server", "plans")
+    __slots__ = ("by_server", "plans", "total_diffs", "total_payload")
 
     def __init__(
         self,
@@ -93,6 +102,8 @@ class RunFetchPlan:
     ):
         self.by_server = by_server
         self.plans = plans
+        self.total_diffs = sum(entry[1] for entry in by_server)
+        self.total_payload = sum(entry[2] for entry in by_server)
 
 
 class FetchPlanner:

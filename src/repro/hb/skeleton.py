@@ -76,6 +76,7 @@ from repro.hb.interval import Interval
 from repro.hb.store import IntervalStore
 from repro.memory.diff import Diff
 from repro.network.costs import CostModel
+from repro.network.message import MessageKind
 from repro.sync.barrier import BarrierMaster
 from repro.sync.lock_manager import LockDirectory
 from repro.trace.precompile import (
@@ -93,6 +94,23 @@ from repro.trace.runs import CACHE_ENV_VAR, RunProgram, cached_run_program, segm
 K_ACQUIRE = 0
 K_RELEASE = 1
 K_BARRIER = 2
+
+#: Plan/tape construction counters, cumulative per process. ``hits``
+#: count memoized reuse; sweeps snapshot around their grid to report the
+#: cache hit rate (see :func:`repro.simulator.sweep.run_sweep`).
+PLAN_STATS: Dict[str, int] = {
+    "plan_builds": 0,
+    "plan_hits": 0,
+    "lazy_tape_builds": 0,
+    "lazy_tape_hits": 0,
+    "eager_tape_builds": 0,
+    "eager_tape_hits": 0,
+}
+
+
+def plan_stats() -> Dict[str, int]:
+    """A snapshot copy of the cumulative plan/tape cache counters."""
+    return dict(PLAN_STATS)
 
 #: Record type codes in an eager tape's access list.
 E_MISS = 0
@@ -147,6 +165,172 @@ class EagerTape:
         )
 
 
+class LazyTape:
+    """Cost-resolved replay tape for the lazy sync records.
+
+    One record per skeleton sync record, same order, with everything
+    config/cost-dependent but run-independent already resolved against
+    one ``(cost model, piggyback_notices, free_local_lock_reacquire)``
+    key — the tape is what lets the batched lazy kernels replay a sync
+    operation with array reads plus one bulk ledger update instead of
+    re-deriving wire bytes and message sequences per event. Record
+    shapes (plain tuples)::
+
+        close = (vc_after, interval_or_None, items, wire, retained_after)
+            items: ((page, diff_wire_bytes), ...) in diff (first-write)
+            order; () for an empty interval
+            wire: sum of the items' bytes
+            retained_after: prefix sum of ``wire`` over all closes in
+            record order — the retained *and* peak series whenever
+            retention is monotone (no barrier GC, no home flushes)
+        acquire = (close, deltas_or_None, rowadd, n_notices, grouped, vc_after)
+            deltas None: the free-local-reacquire skip (close only — no
+            merge, no notice receive); deltas (): every hop was local
+        release = close
+        barrier = (close, deltas, rowadd, n_notices, complete_or_None)
+            deltas (): the master's own message-free arrival
+            complete = (cdeltas, crowadd, cnotices, per_proc) on the
+            completing arrival; per_proc is the skeleton's
+            (n_notices, grouped, vc_after) tuple per processor
+
+    ``deltas`` batches the record's network-ledger updates as
+    ``(kind slot, messages, data_bytes, control_bytes)`` tuples, merged
+    per kind (see :meth:`repro.network.network.Network.apply_tape`);
+    ``rowadd`` is the matching ``(messages, data, control)`` total for a
+    probe's staged segment row, ``None`` when ``deltas`` is empty.
+    Every lazy sync kind is counted (none are acks) and local sends are
+    skipped outright, mirroring ``Network.send``'s fast path exactly.
+    """
+
+    __slots__ = ("records",)
+
+    def __init__(self, records: List[tuple]):
+        self.records = records
+
+    def __repr__(self) -> str:
+        return f"LazyTape({len(self.records)} sync records)"
+
+
+def build_lazy_tape(
+    compiled: CompiledTrace,
+    n_procs: int,
+    skeleton: Skeleton,
+    cost_model: CostModel,
+    piggyback: bool,
+    free_reacquire: bool,
+) -> LazyTape:
+    """Resolve ``skeleton``'s sync records against one cost/config key.
+
+    The skeleton records carry no processor ids (the kernels get them
+    from the instruction stream), so the builder walks the compiled ops
+    alongside the records to recover each sync operation's actor — the
+    same pairing the replay loop performs.
+    """
+    vcb = cost_model.vclock_bytes(n_procs)
+    nb = cost_model.write_notice_bytes
+    header = cost_model.header_bytes if cost_model.count_header_in_data else 0
+    count_control = cost_model.count_control_in_data
+    master = BarrierMaster(n_procs).master
+
+    req_slot = MessageKind.LOCK_REQUEST.slot
+    fwd_slot = MessageKind.LOCK_FORWARD.slot
+    grant_slot = MessageKind.LOCK_GRANT.slot
+    lnote_slot = MessageKind.LOCK_NOTICE.slot
+    arrive_slot = MessageKind.BARRIER_ARRIVAL.slot
+    exit_slot = MessageKind.BARRIER_EXIT.slot
+    bnote_slot = MessageKind.BARRIER_NOTICE.slot
+
+    def merge(sends: List[tuple]) -> tuple:
+        """(slot, src, dst, ctrl) sends -> (deltas, rowadd), locals skipped."""
+        by_slot: Dict[int, List[int]] = {}
+        tm = td = tc = 0
+        for slot, src, dst, ctrl in sends:
+            if src == dst:
+                continue
+            data = (ctrl if count_control else 0) + header
+            row = by_slot.get(slot)
+            if row is None:
+                by_slot[slot] = row = [0, 0, 0]
+            row[0] += 1
+            row[1] += data
+            row[2] += ctrl
+            tm += 1
+            td += data
+            tc += ctrl
+        if not by_slot:
+            return (), None
+        deltas = tuple((slot, r[0], r[1], r[2]) for slot, r in by_slot.items())
+        return deltas, (tm, td, tc)
+
+    def sync_pair(slot: int, note_slot: int, src: int, dst: int, n: int) -> List[tuple]:
+        """The sends of one notice-bearing sync hop (LazyProtocol._sync_send)."""
+        if piggyback or not n:
+            return [(slot, src, dst, vcb + n * nb)]
+        return [(slot, src, dst, vcb), (note_slot, src, dst, n * nb)]
+
+    retained = 0
+
+    def make_close(close_rec: tuple) -> tuple:
+        nonlocal retained
+        interval = close_rec[2]
+        if interval is None:
+            return (close_rec[1], None, (), 0, retained)
+        items = tuple(
+            (page, diff.wire_bytes(cost_model))
+            for page, diff in interval.diffs.items()
+        )
+        wire = 0
+        for _page, page_wire in items:
+            wire += page_wire
+        retained += wire
+        return (close_rec[1], interval, items, wire, retained)
+
+    records: List[tuple] = []
+    append = records.append
+    next_record = iter(skeleton.records).__next__
+    for op in compiled.ops:
+        code = op[0]
+        if code == OP_ACQUIRE:
+            rec = next_record()
+            proc = op[1]
+            close = make_close(rec[1])
+            grantor = rec[2]
+            if grantor == proc and free_reacquire:
+                append((close, None, None, 0, (), None))
+                continue
+            n = rec[4]
+            sends = [(req_slot, proc, rec[3], vcb), (fwd_slot, rec[3], grantor, vcb)]
+            sends += sync_pair(grant_slot, lnote_slot, grantor, proc, n)
+            deltas, rowadd = merge(sends)
+            append((close, deltas, rowadd, n, rec[5], rec[6]))
+        elif code == OP_RELEASE:
+            append(make_close(next_record()[1]))
+        elif code == OP_BARRIER:
+            rec = next_record()
+            proc = op[1]
+            close = make_close(rec[1])
+            n_to_master = rec[2]
+            if n_to_master >= 0:
+                deltas, rowadd = merge(
+                    sync_pair(arrive_slot, bnote_slot, proc, master, n_to_master)
+                )
+            else:
+                deltas, rowadd = (), None
+            complete = rec[3]
+            tape_complete = None
+            if complete is not None:
+                csends: List[tuple] = []
+                cnotices = 0
+                for p, (n, _grouped, _vc) in enumerate(complete):
+                    if p != master:
+                        csends += sync_pair(exit_slot, bnote_slot, master, p, n)
+                        cnotices += n
+                cdeltas, crowadd = merge(csends)
+                tape_complete = (cdeltas, crowadd, cnotices, complete)
+            append((close, deltas, rowadd, n_to_master if n_to_master > 0 else 0, tape_complete))
+    return LazyTape(records)
+
+
 class BatchPlan:
     """Everything a batched replay of one compiled trace shares.
 
@@ -158,7 +342,15 @@ class BatchPlan:
     protocol instances only widens the memo hit rate.
     """
 
-    __slots__ = ("compiled", "n_procs", "_runs", "_skeleton", "_planners", "_eager_tapes")
+    __slots__ = (
+        "compiled",
+        "n_procs",
+        "_runs",
+        "_skeleton",
+        "_planners",
+        "_eager_tapes",
+        "_lazy_tapes",
+    )
 
     def __init__(
         self,
@@ -173,6 +365,7 @@ class BatchPlan:
         self._skeleton = skeleton
         self._planners: Dict[Tuple[CostModel, bool], FetchPlanner] = {}
         self._eager_tapes: Dict[str, EagerTape] = {}
+        self._lazy_tapes: Dict[Tuple[CostModel, bool, bool], LazyTape] = {}
 
     @property
     def runs(self) -> RunProgram:
@@ -199,9 +392,37 @@ class BatchPlan:
     def eager_tape(self, policy: str) -> EagerTape:
         tape = self._eager_tapes.get(policy)
         if tape is None:
+            PLAN_STATS["eager_tape_builds"] += 1
             tape = self._eager_tapes[policy] = build_eager_tape(
                 self.compiled, self.n_procs, policy
             )
+        else:
+            PLAN_STATS["eager_tape_hits"] += 1
+        return tape
+
+    def lazy_tape(
+        self, cost_model: CostModel, piggyback: bool, free_reacquire: bool
+    ) -> LazyTape:
+        """The (memoized) lazy replay tape for one cost/config key.
+
+        One tape serves every lazy protocol at that key — LI/LU/LH
+        consume it as-is and HLRC only adds live per-close flushing on
+        top (see ``LazyProtocol.bind_batch_plan``).
+        """
+        key = (cost_model, piggyback, free_reacquire)
+        tape = self._lazy_tapes.get(key)
+        if tape is None:
+            PLAN_STATS["lazy_tape_builds"] += 1
+            tape = self._lazy_tapes[key] = build_lazy_tape(
+                self.compiled,
+                self.n_procs,
+                self.skeleton,
+                cost_model,
+                piggyback,
+                free_reacquire,
+            )
+        else:
+            PLAN_STATS["lazy_tape_hits"] += 1
         return tape
 
     def planner_for(self, cost_model: CostModel, prune_overwritten: bool) -> FetchPlanner:
@@ -721,8 +942,11 @@ def batch_plan(compiled: CompiledTrace, n_procs: int, trace=None) -> BatchPlan:
     plans = compiled._batch_plans
     plan = plans.get(n_procs)
     if plan is None:
+        PLAN_STATS["plan_builds"] += 1
         runs = None
         if trace is not None and os.environ.get(CACHE_ENV_VAR):
             runs = cached_run_program(trace, compiled.page_size, n_procs)
         plan = plans[n_procs] = BatchPlan(compiled, n_procs, runs=runs)
+    else:
+        PLAN_STATS["plan_hits"] += 1
     return plan

@@ -94,6 +94,25 @@ class Network:
 
     # -- sending ---------------------------------------------------------------
 
+    def apply_tape(self, deltas) -> None:
+        """Apply a precomputed batch of ledger updates in one call.
+
+        ``deltas`` is a sequence of ``(kind slot, messages, data_bytes,
+        control_bytes)`` tuples — the merged accounting of several
+        :meth:`send` calls, resolved at tape-build time (see
+        :class:`~repro.hb.skeleton.LazyTape`). Callers certify the same
+        preconditions as the send fast path (no handlers, no log, every
+        kind counted, locals already excluded); probe staging, when a
+        probe is attached, is the caller's responsibility — the tape
+        carries matching row totals.
+        """
+        buckets = self._fast_buckets
+        for slot, messages, data_bytes, control_bytes in deltas:
+            bucket = buckets[slot][0]
+            bucket.messages += messages
+            bucket.data_bytes += data_bytes
+            bucket.control_bytes += control_bytes
+
     def send(
         self,
         kind: MessageKind,

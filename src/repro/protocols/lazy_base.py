@@ -39,6 +39,11 @@ from repro.network.message import MessageKind
 from repro.protocols.base import Protocol
 from repro.config import SimConfig
 
+#: Request/reply kinds for update-protocol diff pulls, hoisted for the
+#: tape replay kernels (tuple construction is visible at 1M+ events/s).
+_ACQUIRE_PULL_KINDS = (MessageKind.ACQUIRE_DIFF_REQUEST, MessageKind.ACQUIRE_DIFF_REPLY)
+_BARRIER_PULL_KINDS = (MessageKind.BARRIER_UPDATE_REQUEST, MessageKind.BARRIER_UPDATE)
+
 
 class LazyProcState:
     """Per-processor LRC state."""
@@ -94,6 +99,13 @@ class LazyProtocol(Protocol):
         # per-acquire/per-barrier paths.
         self._vc_bytes = self.costs.vclock_bytes(config.n_procs)
         self._notice_bytes_each = self.costs.write_notice_bytes
+        # Tape-mode diff fetches apply whole-plan accounting in one
+        # Network.apply_tape call instead of two sends per server; set
+        # by bind_batch_plan once the certification there holds.
+        self._bulk_fetch = False
+        self._fetch_header = (
+            self.costs.header_bytes if self.costs.count_header_in_data else 0
+        )
         # Distributions of Table 1's m (modifiers per miss) and h
         # (modifiers per eager pull): value -> occurrence count.
         self.miss_m_histogram: Dict[int, int] = {}
@@ -338,27 +350,48 @@ class LazyProtocol(Protocol):
         if not items:
             return 0
         obs = self._obs_events
-        send = self.network.send
         if len(items) == 1:
             page, interval_ids = items[0]
-            plans = (planner.plan(page, interval_ids),)
-            by_server = plans[0].by_server
+            run_plan = planner.plan(page, interval_ids)
+            plans = (run_plan,)
         else:
             # The cross-page server merge is memoized per run shape —
             # repeated barrier crossings and hand-offs are a dict hit.
             run_plan = planner.plan_run(tuple(items))
             plans = run_plan.plans
-            by_server = run_plan.by_server
-        for server, count, payload in by_server:
-            send(request_kind, proc, server)
-            send(reply_kind, server, proc, payload_bytes=payload)
-            self.diffs_fetched += count
-            self.diff_bytes_fetched += payload
-            if obs:
-                self.probe.emit(
-                    "diff_fetch", proc=proc, server=server, count=count, bytes=payload
-                )
+        by_server = run_plan.by_server
         m = len(by_server)
+        if self._bulk_fetch:
+            # Certified in bind_batch_plan: every send below would take
+            # the pure-accounting fast path, no event emission, and a
+            # server is never its own client — so the whole fetch's
+            # ledger updates collapse into one apply_tape call, with the
+            # probe's staged row (when attached) updated to match.
+            payload = run_plan.total_payload
+            header = self._fetch_header
+            self.network.apply_tape(
+                (
+                    (request_kind.slot, m, m * header, 0),
+                    (reply_kind.slot, m, payload + m * header, 0),
+                )
+            )
+            if self._obs:
+                row = self.probe._seg_row
+                row[0] += 2 * m
+                row[1] += payload + 2 * m * header
+            self.diffs_fetched += run_plan.total_diffs
+            self.diff_bytes_fetched += payload
+        else:
+            send = self.network.send
+            for server, count, payload in by_server:
+                send(request_kind, proc, server)
+                send(reply_kind, server, proc, payload_bytes=payload)
+                self.diffs_fetched += count
+                self.diff_bytes_fetched += payload
+                if obs:
+                    self.probe.emit(
+                        "diff_fetch", proc=proc, server=server, count=count, bytes=payload
+                    )
         table = self.procs[proc].pages
         for plan in plans:
             entry = table.entry(plan.page)
@@ -554,6 +587,36 @@ class LazyProtocol(Protocol):
         self.miss_m_histogram[m] = self.miss_m_histogram.get(m, 0) + 1
         entry.state = PageState.VALID
 
+    # -- notice-bearing sync sends ---------------------------------------------
+
+    def _sync_send(
+        self,
+        kind: MessageKind,
+        notice_kind: MessageKind,
+        src: ProcId,
+        dst: ProcId,
+        n_notices: int,
+    ) -> None:
+        """One sync hop from ``src`` carrying its timestamp plus notices.
+
+        The shared tail of every notice-bearing synchronization message
+        (lock grants, barrier arrivals, barrier exits): bumps
+        ``notices_sent`` and sends either one piggybacked message or,
+        under the ``piggyback_notices`` ablation, the bare sync message
+        followed by a separate ``notice_kind`` message of the matching
+        category. Telemetry emissions stay at the call sites — their
+        fields differ per hop.
+        """
+        self.notices_sent += n_notices
+        notice_bytes = n_notices * self._notice_bytes_each
+        if self.config.piggyback_notices or not n_notices:
+            self.network.send(
+                kind, src, dst, control_bytes=self._vc_bytes + notice_bytes
+            )
+        else:
+            self.network.send(kind, src, dst, control_bytes=self._vc_bytes)
+            self.network.send(notice_kind, src, dst, control_bytes=notice_bytes)
+
     # -- locks -------------------------------------------------------------------
 
     def _on_acquire(self, proc: ProcId, lock: LockId) -> None:
@@ -570,26 +633,19 @@ class LazyProtocol(Protocol):
         self.network.send(MessageKind.LOCK_FORWARD, manager, grantor, control_bytes=vc_bytes)
         grantor_vc = self.lazy_state[grantor].vc
         notices = self._notices_for_gap(grantor_vc, state.vc)
-        self.notices_sent += len(notices)
-        notice_bytes = len(notices) * self._notice_bytes_each
-        if self._obs_events and notices:
+        n_notices = len(notices)
+        if self._obs_events and n_notices:
             self.probe.emit(
-                "notices_send", proc=grantor, dest=proc, count=len(notices), bytes=notice_bytes
+                "notices_send",
+                proc=grantor,
+                dest=proc,
+                count=n_notices,
+                bytes=n_notices * self._notice_bytes_each,
             )
-            self.probe.emit("notices_apply", proc=proc, count=len(notices))
-        if self.config.piggyback_notices or not notices:
-            self.network.send(
-                MessageKind.LOCK_GRANT,
-                grantor,
-                proc,
-                control_bytes=vc_bytes + notice_bytes,
-            )
-        else:
-            # Ablation: notices travel in their own message after the grant.
-            self.network.send(MessageKind.LOCK_GRANT, grantor, proc, control_bytes=vc_bytes)
-            self.network.send(
-                MessageKind.LOCK_NOTICE, grantor, proc, control_bytes=notice_bytes
-            )
+            self.probe.emit("notices_apply", proc=proc, count=n_notices)
+        self._sync_send(
+            MessageKind.LOCK_GRANT, MessageKind.LOCK_NOTICE, grantor, proc, n_notices
+        )
         self._receive_notices(
             proc,
             notices,
@@ -613,31 +669,22 @@ class LazyProtocol(Protocol):
             # the (running) episode merge does not yet cover.
             merged = self._episode_clock(barrier)
             notices = self._notices_for_gap(state.vc, merged)
-            self.notices_sent += len(notices)
-            vc_bytes = self._vc_bytes
-            notice_bytes = len(notices) * self._notice_bytes_each
-            if self._obs_events and notices:
+            n_notices = len(notices)
+            if self._obs_events and n_notices:
                 self.probe.emit(
                     "notices_send",
                     proc=proc,
                     dest=master,
-                    count=len(notices),
-                    bytes=notice_bytes,
+                    count=n_notices,
+                    bytes=n_notices * self._notice_bytes_each,
                 )
-            if self.config.piggyback_notices or not notices:
-                self.network.send(
-                    MessageKind.BARRIER_ARRIVAL,
-                    proc,
-                    master,
-                    control_bytes=vc_bytes + notice_bytes,
-                )
-            else:
-                self.network.send(
-                    MessageKind.BARRIER_ARRIVAL, proc, master, control_bytes=vc_bytes
-                )
-                self.network.send(
-                    MessageKind.BARRIER_NOTICE, proc, master, control_bytes=notice_bytes
-                )
+            self._sync_send(
+                MessageKind.BARRIER_ARRIVAL,
+                MessageKind.BARRIER_NOTICE,
+                proc,
+                master,
+                n_notices,
+            )
         episode.append((proc, state.vc))
 
     def _episode_clock(self, barrier: BarrierId) -> VectorClock:
@@ -651,7 +698,6 @@ class LazyProtocol(Protocol):
         master = self.barriers.master
         merged = self._episode_clock(barrier)
         self._episodes[barrier] = []
-        vc_bytes = self._vc_bytes
         obs = self._obs_events
         for proc in range(self.n_procs):
             state = self.lazy_state[proc]
@@ -662,22 +708,13 @@ class LazyProtocol(Protocol):
                 )
                 self.probe.emit("notices_apply", proc=proc, count=len(notices))
             if proc != master:
-                self.notices_sent += len(notices)
-                notice_bytes = len(notices) * self._notice_bytes_each
-                if self.config.piggyback_notices or not notices:
-                    self.network.send(
-                        MessageKind.BARRIER_EXIT,
-                        master,
-                        proc,
-                        control_bytes=vc_bytes + notice_bytes,
-                    )
-                else:
-                    self.network.send(
-                        MessageKind.BARRIER_EXIT, master, proc, control_bytes=vc_bytes
-                    )
-                    self.network.send(
-                        MessageKind.BARRIER_NOTICE, master, proc, control_bytes=notice_bytes
-                    )
+                self._sync_send(
+                    MessageKind.BARRIER_EXIT,
+                    MessageKind.BARRIER_NOTICE,
+                    master,
+                    proc,
+                    len(notices),
+                )
             self._receive_notices(
                 proc,
                 notices,
@@ -801,14 +838,56 @@ class LazyProtocol(Protocol):
 
         Replaces the (empty) per-run store with the skeleton's fully
         populated one, shares the plan's fetch planner for this config's
-        cost model, and shadows the sync hooks with the record-driven
-        kernels. Called by the engine before its batched replay loop.
+        cost model, and installs the record-driven sync kernels. Called
+        by the engine before its batched replay loop.
+
+        Two kernel sets exist. Whenever every sync-time ``Network.send``
+        of a replay would take the pure-accounting fast path (no
+        handlers, no log) and the probe — if any — is a stock
+        :class:`~repro.obs.probe.RecordingProbe` staging rows inline,
+        the **tape** kernels replay the cost-resolved
+        :class:`~repro.hb.skeleton.LazyTape` via ``_b_acquire`` /
+        ``_b_release`` / ``_b_barrier`` entry points the engine binds
+        directly (bypassing the base wrappers; lock/barrier directory
+        upkeep is dead state in a batched run). Otherwise — event sinks
+        attached, subclassed probes, message handlers — the legacy
+        ``_k_*`` kernels shadow the ``_on_*`` hooks and every message is
+        sent individually, exactly as before.
         """
         self.store = plan.store
         self._planner = plan.planner_for(self.costs, self.config.skip_overwritten_diffs)
         self._notices_for_gap = self.store.gap_notices
-        self._next_record = iter(plan.records).__next__
         self._pending_complete = None
+        config = self.config
+        network = self.network
+        if (
+            not self._obs_events
+            and not network._handlers
+            and not network.keep_log
+            and (not self._obs or (self._probe_fast and network._probe_stages))
+        ):
+            tape = plan.lazy_tape(
+                self.costs, config.piggyback_notices, config.free_local_lock_reacquire
+            )
+            self._tape_next = iter(tape.records).__next__
+            self._bulk_fetch = True
+            # The tape's retained_after prefix sums are the retention
+            # series only while retention is monotone: no barrier GC and
+            # no per-close hook dropping diffs (HLRC's home flush).
+            if config.gc_at_barriers or type(self)._post_close is not LazyProtocol._post_close:
+                self._t_close = self._t_close_live
+            else:
+                self._t_close = self._t_close_fast
+            if self._obs:
+                self._b_acquire = self._t_acquire_obs
+                self._b_release = self._t_release_obs
+                self._b_barrier = self._t_barrier_obs
+            else:
+                self._b_acquire = self._t_acquire
+                self._b_release = self._t_release
+                self._b_barrier = self._t_barrier
+            return
+        self._next_record = iter(plan.records).__next__
         self._on_acquire = self._k_acquire
         self._on_release = self._k_release
         self._on_barrier_arrive = self._k_barrier_arrive
@@ -862,15 +941,25 @@ class LazyProtocol(Protocol):
         first access stays VALID for the rest of the span. ``words``
         carries the final token per word in first-write order — exactly
         the dict the per-event writes would accumulate.
+
+        Page contents and twins are unobservable under a batched replay
+        (``record_values`` is off and the closes take prebuilt diffs
+        from the skeleton), so only the dirty registry is maintained.
+        The run's word dict is adopted as the interval's dirty set
+        without copying — safe because interval closes *rebind*
+        ``dirty_words`` (``clear_dirty``), never mutate it, leaving the
+        program's dict intact for the next replay.
         """
         table = self.procs[proc].pages
         entry = table.entry(page)
-        if not entry.dirty_words:
-            entry.make_twin()
+        if entry.dirty_words:
+            # Unreachable for programs built by segment_runs (one write
+            # run per (proc, page) span; spans end at every sync that
+            # could close the interval), but kept safe regardless.
+            entry.dirty_words = {**entry.dirty_words, **words}
+        else:
             table.mark_dirty(page, entry)
-        entry.page.words.update(words)
-        entry.dirty_words.update(words)
-        self._note_write(proc, page, entry)
+            entry.dirty_words = words
 
     def _k_full_run(self, proc: ProcId, page: PageId, words: Dict[int, int]) -> None:
         """A span whose first access to ``page`` is a write: miss check, then write."""
@@ -878,12 +967,11 @@ class LazyProtocol(Protocol):
         entry = table.entry(page)
         if entry.state is not PageState.VALID:
             self._service_miss(proc, page, entry)
-        if not entry.dirty_words:
-            entry.make_twin()
+        if entry.dirty_words:
+            entry.dirty_words = {**entry.dirty_words, **words}
+        else:
             table.mark_dirty(page, entry)
-        entry.page.words.update(words)
-        entry.dirty_words.update(words)
-        self._note_write(proc, page, entry)
+            entry.dirty_words = words
 
     def _k_receive(
         self,
@@ -922,18 +1010,18 @@ class LazyProtocol(Protocol):
         send(MessageKind.LOCK_REQUEST, proc, record[3], control_bytes=vc_bytes)
         send(MessageKind.LOCK_FORWARD, record[3], grantor, control_bytes=vc_bytes)
         n_notices = record[4]
-        self.notices_sent += n_notices
-        notice_bytes = n_notices * self._notice_bytes_each
         if self._obs_events and n_notices:
             self.probe.emit(
-                "notices_send", proc=grantor, dest=proc, count=n_notices, bytes=notice_bytes
+                "notices_send",
+                proc=grantor,
+                dest=proc,
+                count=n_notices,
+                bytes=n_notices * self._notice_bytes_each,
             )
             self.probe.emit("notices_apply", proc=proc, count=n_notices)
-        if self.config.piggyback_notices or not n_notices:
-            send(MessageKind.LOCK_GRANT, grantor, proc, control_bytes=vc_bytes + notice_bytes)
-        else:
-            send(MessageKind.LOCK_GRANT, grantor, proc, control_bytes=vc_bytes)
-            send(MessageKind.LOCK_NOTICE, grantor, proc, control_bytes=notice_bytes)
+        self._sync_send(
+            MessageKind.LOCK_GRANT, MessageKind.LOCK_NOTICE, grantor, proc, n_notices
+        )
         self._k_receive(
             proc,
             record[5],
@@ -949,42 +1037,29 @@ class LazyProtocol(Protocol):
         self._k_close(proc, record[1])
         n_notices = record[2]
         if n_notices >= 0:  # -1 marks the master's own (message-free) arrival
-            self.notices_sent += n_notices
             master = self.barriers.master
-            vc_bytes = self._vc_bytes
-            notice_bytes = n_notices * self._notice_bytes_each
             if self._obs_events and n_notices:
                 self.probe.emit(
                     "notices_send",
                     proc=proc,
                     dest=master,
                     count=n_notices,
-                    bytes=notice_bytes,
+                    bytes=n_notices * self._notice_bytes_each,
                 )
-            if self.config.piggyback_notices or not n_notices:
-                self.network.send(
-                    MessageKind.BARRIER_ARRIVAL,
-                    proc,
-                    master,
-                    control_bytes=vc_bytes + notice_bytes,
-                )
-            else:
-                self.network.send(
-                    MessageKind.BARRIER_ARRIVAL, proc, master, control_bytes=vc_bytes
-                )
-                self.network.send(
-                    MessageKind.BARRIER_NOTICE, proc, master, control_bytes=notice_bytes
-                )
+            self._sync_send(
+                MessageKind.BARRIER_ARRIVAL,
+                MessageKind.BARRIER_NOTICE,
+                proc,
+                master,
+                n_notices,
+            )
         self._pending_complete = record[3]
 
     def _k_barrier_complete(self, barrier: BarrierId) -> None:
         per_proc = self._pending_complete
         self._pending_complete = None
         master = self.barriers.master
-        vc_bytes = self._vc_bytes
         obs = self._obs_events
-        send = self.network.send
-        piggyback = self.config.piggyback_notices
         pull_kinds = (MessageKind.BARRIER_UPDATE_REQUEST, MessageKind.BARRIER_UPDATE)
         for proc, (n_notices, grouped, vc_after) in enumerate(per_proc):
             if obs and n_notices:
@@ -993,23 +1068,166 @@ class LazyProtocol(Protocol):
                 )
                 self.probe.emit("notices_apply", proc=proc, count=n_notices)
             if proc != master:
-                self.notices_sent += n_notices
-                notice_bytes = n_notices * self._notice_bytes_each
-                if piggyback or not n_notices:
-                    send(
-                        MessageKind.BARRIER_EXIT,
-                        master,
-                        proc,
-                        control_bytes=vc_bytes + notice_bytes,
-                    )
-                else:
-                    send(MessageKind.BARRIER_EXIT, master, proc, control_bytes=vc_bytes)
-                    send(
-                        MessageKind.BARRIER_NOTICE, master, proc, control_bytes=notice_bytes
-                    )
+                self._sync_send(
+                    MessageKind.BARRIER_EXIT,
+                    MessageKind.BARRIER_NOTICE,
+                    master,
+                    proc,
+                    n_notices,
+                )
             self._k_receive(proc, grouped, vc_after, pull_kinds)
         if self.config.gc_at_barriers:
             self._collect_garbage()
+
+    # -- tape replay kernels -----------------------------------------------------
+    #
+    # The fastest batched path: every close's wire bytes, every sync
+    # message sequence, and the whole retention series were resolved at
+    # tape-build time (hb/skeleton.build_lazy_tape), so replaying a sync
+    # operation is a handful of array reads, one bulk ledger update
+    # (Network.apply_tape), and the run-dependent pending/planner work in
+    # _k_receive. The _obs variants additionally swap the probe's staged
+    # segment row exactly as the base Protocol wrappers would and add the
+    # tape's precomputed row totals. Installed by bind_batch_plan only
+    # when the certification there holds; counters, ledger, metrics
+    # snapshots all stay bit-identical to the per-event interpreters.
+
+    def _t_close_fast(self, proc: ProcId, close: tuple) -> None:
+        """Monotone-retention close: the tape's prefix sum is the series."""
+        dirty_registry = self.procs[proc].pages._dirty
+        if dirty_registry:
+            for entry in dirty_registry.values():
+                entry.clear_dirty()
+            dirty_registry.clear()
+        self.lazy_state[proc].vc = close[0]
+        self.intervals_closed += 1
+        self.retained_diff_bytes = self.peak_retained_diff_bytes = close[4]
+
+    def _t_close_live(self, proc: ProcId, close: tuple) -> None:
+        """Close with live retention bookkeeping (barrier GC / home flushes)."""
+        interval = close[1]
+        if interval is not None:
+            retained = self.retained_diff_bytes + close[3]
+            self.retained_diff_bytes = retained
+            if retained > self.peak_retained_diff_bytes:
+                self.peak_retained_diff_bytes = retained
+            live = self._live_by_page
+            for page, wire in close[2]:
+                page_live = live.get(page)
+                if page_live is None:
+                    live[page] = page_live = []
+                page_live.append((interval, wire))
+        dirty_registry = self.procs[proc].pages._dirty
+        if dirty_registry:
+            for entry in dirty_registry.values():
+                entry.clear_dirty()
+            dirty_registry.clear()
+        self.lazy_state[proc].vc = close[0]
+        self.intervals_closed += 1
+        if interval is not None:
+            self._post_close(proc, interval)
+
+    def _t_acquire(self, proc: ProcId, lock: LockId) -> None:
+        record = self._tape_next()
+        self._t_close(proc, record[0])
+        deltas = record[1]
+        if deltas is None:  # free local reacquire: close only
+            return
+        if deltas:
+            self.network.apply_tape(deltas)
+        self.notices_sent += record[3]
+        self._k_receive(proc, record[4], record[5], _ACQUIRE_PULL_KINDS)
+
+    def _t_release(self, proc: ProcId, lock: LockId) -> None:
+        self._t_close(proc, self._tape_next())
+
+    def _t_barrier(self, proc: ProcId, barrier: BarrierId) -> None:
+        record = self._tape_next()
+        self._t_close(proc, record[0])
+        deltas = record[1]
+        if deltas:
+            self.network.apply_tape(deltas)
+            self.notices_sent += record[3]
+        complete = record[4]
+        if complete is not None:
+            cdeltas, _crowadd, cnotices, per_proc = complete
+            if cdeltas:
+                self.network.apply_tape(cdeltas)
+            self.notices_sent += cnotices
+            receive = self._k_receive
+            for p, (_n, grouped, vc_after) in enumerate(per_proc):
+                receive(p, grouped, vc_after, _BARRIER_PULL_KINDS)
+            if self.config.gc_at_barriers:
+                self._collect_garbage()
+
+    def _t_acquire_obs(self, proc: ProcId, lock: LockId) -> None:
+        probe = self.probe
+        saved = probe._seg_row
+        row = probe._lock_rows.get(lock)
+        if row is None:
+            row = probe._lock_rows[lock] = probe._cause_row("lock", lock)
+        probe._seg_row = row
+        record = self._tape_next()
+        self._t_close(proc, record[0])
+        deltas = record[1]
+        if deltas is None:
+            probe._seg_row = saved
+            return
+        if deltas:
+            self.network.apply_tape(deltas)
+            add = record[2]
+            row[0] += add[0]
+            row[1] += add[1]
+            row[2] += add[2]
+        self.notices_sent += record[3]
+        self._k_receive(proc, record[4], record[5], _ACQUIRE_PULL_KINDS)
+        probe._seg_row = saved
+
+    def _t_release_obs(self, proc: ProcId, lock: LockId) -> None:
+        probe = self.probe
+        saved = probe._seg_row
+        row = probe._lock_rows.get(lock)
+        if row is None:
+            row = probe._lock_rows[lock] = probe._cause_row("lock", lock)
+        probe._seg_row = row
+        self._t_close(proc, self._tape_next())
+        probe._seg_row = saved
+
+    def _t_barrier_obs(self, proc: ProcId, barrier: BarrierId) -> None:
+        probe = self.probe
+        saved = probe._seg_row
+        row = probe._barrier_rows.get(barrier)
+        if row is None:
+            row = probe._barrier_rows[barrier] = probe._cause_row("barrier", barrier)
+        probe._seg_row = row
+        record = self._tape_next()
+        self._t_close(proc, record[0])
+        deltas = record[1]
+        if deltas:
+            self.network.apply_tape(deltas)
+            add = record[2]
+            row[0] += add[0]
+            row[1] += add[1]
+            row[2] += add[2]
+            self.notices_sent += record[3]
+        complete = record[4]
+        if complete is not None:
+            cdeltas, crowadd, cnotices, per_proc = complete
+            if cdeltas:
+                self.network.apply_tape(cdeltas)
+                row[0] += crowadd[0]
+                row[1] += crowadd[1]
+                row[2] += crowadd[2]
+            self.notices_sent += cnotices
+            receive = self._k_receive
+            for p, (_n, grouped, vc_after) in enumerate(per_proc):
+                receive(p, grouped, vc_after, _BARRIER_PULL_KINDS)
+            if self.config.gc_at_barriers:
+                self._collect_garbage()
+            # Exit traffic belongs to the episode it closes; the staged
+            # rows are zeroed in place, so ``saved`` stays live.
+            probe.advance_epoch()
+        probe._seg_row = saved
 
     def _collect_garbage_reference(self) -> None:
         min_entries = [
@@ -1052,19 +1270,32 @@ class LazyProtocol(Protocol):
 #: class so subclass overrides force the per-event fallback.
 _BATCHED_GUARDED = (
     "write",
+    "_sync_send",
     "_close_interval",
     "_receive_notices",
+    "_note_write",
     "_on_notice",
     "_after_notices",
     "_on_acquire",
     "_on_release",
     "_on_barrier_arrive",
     "_on_barrier_complete",
+    "acquire",
+    "release",
+    "barrier",
     "_k_close",
     "_k_receive",
     "_k_write_run",
     "_k_full_run",
     "_post_close",
+    "_t_close_fast",
+    "_t_close_live",
+    "_t_acquire",
+    "_t_release",
+    "_t_barrier",
+    "_t_acquire_obs",
+    "_t_release_obs",
+    "_t_barrier_obs",
 )
 
 LazyProtocol._batched_kernel_class = LazyProtocol

@@ -31,6 +31,7 @@ from dataclasses import dataclass, field
 from multiprocessing import shared_memory
 from typing import Dict, List, Optional, Sequence, Tuple
 
+from repro.hb.skeleton import plan_stats
 from repro.obs.metrics import merge_metrics
 from repro.obs.probe import RecordingProbe
 from repro.protocols.registry import protocol_names
@@ -149,7 +150,7 @@ def _init_sweep_worker_shm(descriptor, config: SimConfig, metrics: bool) -> None
     _worker_metrics = metrics
 
 
-def _run_sweep_cell(cell: Tuple[str, int]) -> Tuple[str, int, SimulationResult]:
+def _run_sweep_cell(cell: Tuple[str, int]) -> Tuple[str, int, SimulationResult, Dict[str, int]]:
     protocol, page_size = cell
     assert _worker_trace is not None and _worker_config is not None
     engine = Engine(
@@ -159,7 +160,39 @@ def _run_sweep_cell(cell: Tuple[str, int]) -> Tuple[str, int, SimulationResult]:
         compiled=_worker_trace.compiled(page_size),
         probe=RecordingProbe() if _worker_metrics else None,
     )
-    return protocol, page_size, engine.run()
+    # Plan/tape cache traffic happens inside this worker process; ship
+    # the per-cell delta back so the parent can report the sweep-wide
+    # hit rate (the counters themselves are process-local).
+    before = plan_stats()
+    result = engine.run()
+    after = plan_stats()
+    return protocol, page_size, result, {k: after[k] - before[k] for k in after}
+
+
+def _log_plan_cache(stats: Dict[str, int]) -> None:
+    """One line on how well BatchPlan/tape construction amortized.
+
+    Every batched cell needs a plan (and the lazy/eager families a tape
+    each); within a worker those are memoized on the compiled trace, so
+    a sweep should build once per (page size, family cost key) and hit
+    everywhere else. A hit rate near zero here means cells are
+    rebuilding per-cell state that should be shared.
+    """
+    builds = stats["plan_builds"] + stats["lazy_tape_builds"] + stats["eager_tape_builds"]
+    hits = stats["plan_hits"] + stats["lazy_tape_hits"] + stats["eager_tape_hits"]
+    total = builds + hits
+    if not total:
+        return
+    logger.info(
+        "sweep plan cache: %d lookups, %d builds (%d plan / %d lazy tape / "
+        "%d eager tape), %.0f%% hit rate",
+        total,
+        builds,
+        stats["plan_builds"],
+        stats["lazy_tape_builds"],
+        stats["eager_tape_builds"],
+        100.0 * hits / total,
+    )
 
 
 #: (jobs, cpus) pairs already logged by the clamp below — bench loops
@@ -216,6 +249,7 @@ def run_sweep(
         # sizes (cells at one page size are the most similar in cost).
         cells = [(p, s) for s in page_sizes for p in protocols]
         collected: Dict[Tuple[str, int], SimulationResult] = {}
+        cache_stats = dict.fromkeys(plan_stats(), 0)
         shared = None
         try:
             from repro.simulator.shm import SharedTraceColumns
@@ -241,8 +275,10 @@ def run_sweep(
                 initializer=initializer,
                 initargs=initargs,
             ) as pool:
-                for protocol, page_size, result in pool.map(_run_sweep_cell, cells):
+                for protocol, page_size, result, delta in pool.map(_run_sweep_cell, cells):
                     collected[(protocol, page_size)] = result
+                    for key, value in delta.items():
+                        cache_stats[key] += value
         finally:
             # Unconditional teardown — also on worker crashes — so no
             # run leaves a segment behind for the resource tracker to
@@ -255,7 +291,9 @@ def run_sweep(
         for protocol in protocols:
             for page_size in page_sizes:
                 sweep.grid[(protocol, page_size)] = collected[(protocol, page_size)]
+        _log_plan_cache(cache_stats)
         return sweep
+    before = plan_stats()
     for protocol in protocols:
         for page_size in page_sizes:
             engine = Engine(
@@ -266,4 +304,6 @@ def run_sweep(
                 probe=RecordingProbe() if metrics else None,
             )
             sweep.grid[(protocol, page_size)] = engine.run()
+    after = plan_stats()
+    _log_plan_cache({k: after[k] - before[k] for k in after})
     return sweep

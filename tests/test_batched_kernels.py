@@ -13,6 +13,7 @@ from __future__ import annotations
 import pytest
 
 from repro.config import SimConfig
+from repro.network.costs import CostModel
 from repro.obs.probe import RecordingProbe
 from repro.obs.sinks import MemorySink
 from repro.protocols.registry import protocol_class
@@ -115,6 +116,71 @@ class TestBatchedTelemetry:
         assert snapshots[0] == snapshots[1]
 
 
+#: Cost models spanning the constants the lazy tape bakes in at build
+#: time: the paper defaults, inflated per-structure sizes, and flipped
+#: accounting policies (headers/control folded into data, acks free).
+COST_MODELS = {
+    "paper": CostModel(),
+    "wide": CostModel(
+        vclock_entry_bytes=16,
+        write_notice_bytes=40,
+        diff_run_header_bytes=24,
+        word_bytes=16,
+    ),
+    "folded": CostModel(
+        count_header_in_data=True,
+        count_control_in_data=True,
+        count_acks=False,
+    ),
+}
+
+
+class TestLazyTapeCostGrid:
+    """Tape replay across the cost grid (the build-time-constant hazard).
+
+    The lazy tape resolves wire bytes, notice counts, and the retention
+    series once per (compiled trace, cost key); these cases run several
+    tapes of the *same* plan under different cost models and sync
+    options, so a stale or cross-contaminated cache entry — or any cost
+    constant the builder resolved differently from the per-event kernels
+    — shows up as a counter or metrics mismatch.
+    """
+
+    @pytest.mark.parametrize("free_reacquire", [True, False], ids=["free", "paid"])
+    @pytest.mark.parametrize("piggyback", [True, False], ids=["piggy", "split"])
+    @pytest.mark.parametrize("cost_key", sorted(COST_MODELS))
+    @pytest.mark.parametrize("protocol", LAZY_PROTOCOLS)
+    def test_retention_and_metrics_bit_identical(
+        self, water_trace, protocol, cost_key, piggyback, free_reacquire
+    ):
+        base = SimConfig(
+            n_procs=water_trace.n_procs,
+            page_size=1024,
+            cost_model=COST_MODELS[cost_key],
+            piggyback_notices=piggyback,
+            free_local_lock_reacquire=free_reacquire,
+        )
+        engines = [
+            Engine(
+                water_trace,
+                base.with_options(use_batched_kernels=flag),
+                protocol,
+                probe=RecordingProbe(),
+            )
+            for flag in (True, False)
+        ]
+        batched, reference = (engine.run() for engine in engines)
+        # Not vacuous: the batched engine really replayed the tape (a
+        # certification miss would silently fall back to per-event).
+        assert "_tape_next" in engines[0].protocol.__dict__
+        for counter in ("retained_diff_bytes", "peak_retained_diff_bytes"):
+            assert batched.counters[counter] == reference.counters[counter], counter
+        assert result_fields(batched) == result_fields(reference)
+        # Per-epoch metrics rows, lock/barrier attribution included —
+        # the metrics-only probe also exercises the _t_*_obs kernels.
+        assert batched.metrics == reference.metrics
+
+
 class TestBatchedGate:
     @pytest.mark.parametrize("protocol", EAGER_PROTOCOLS)
     def test_eager_family_reports_support(self, protocol):
@@ -184,6 +250,28 @@ class TestBatchedGate:
         stock = Engine(water_trace, config, "LI").run()
         assert seen
         assert result_fields(doubled) == result_fields(stock)
+
+    def test_public_wrapper_override_falls_back(self, water_trace):
+        # Tape replay bypasses the public acquire/release/barrier
+        # wrappers entirely, so those are guarded hooks too: a subclass
+        # adding behavior there must force the per-event path or its
+        # override would be silently skipped.
+        from repro.protocols.lazy_invalidate import LazyInvalidate
+
+        seen = []
+
+        class Wrapped(LazyInvalidate):
+            def acquire(self, proc, lock):
+                seen.append((proc, lock))
+                super().acquire(proc, lock)
+
+        instance = Wrapped(SimConfig(n_procs=4))
+        assert not instance.supports_batched_runs()
+        config = SimConfig(n_procs=water_trace.n_procs, page_size=1024)
+        wrapped = Engine(water_trace, config, Wrapped).run()
+        stock = Engine(water_trace, config, "LI").run()
+        assert seen
+        assert result_fields(wrapped) == result_fields(stock)
 
     def test_record_values_forces_per_event(self, water_trace):
         # The batched path cannot record read values (page contents are
