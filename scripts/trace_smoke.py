@@ -1,0 +1,92 @@
+#!/usr/bin/env python
+"""Validate a span-timeline JSON file against the Chrome trace-event shape.
+
+CI smoke gate for ``lrc-sim trace --spans``: asserts the document is
+Perfetto-loadable in the structural sense — a ``traceEvents`` list whose
+complete ("X") events carry name/cat/ts/dur/pid/tid with sane values,
+whose flow starts ("s") and finishes ("f") pair one-to-one by id, and
+whose metadata names every processor thread. Exits non-zero with a
+message on the first violation.
+
+Usage: python scripts/trace_smoke.py trace.json [trace2.json ...]
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from typing import Any, Dict, List
+
+
+def validate(path: str) -> str:
+    """Return a one-line summary, or raise ValueError on a bad document."""
+    with open(path, "r", encoding="utf-8") as fh:
+        doc = json.load(fh)
+    if not isinstance(doc, dict) or "traceEvents" not in doc:
+        raise ValueError("top level must be an object with a traceEvents list")
+    events: List[Dict[str, Any]] = doc["traceEvents"]
+    if not isinstance(events, list) or not events:
+        raise ValueError("traceEvents must be a non-empty list")
+    n_complete = 0
+    flow_starts: List[Any] = []
+    flow_finishes: List[Any] = []
+    thread_names = set()
+    span_tids = set()
+    for index, event in enumerate(events):
+        where = f"traceEvents[{index}]"
+        for key in ("ph", "pid", "tid"):
+            if key not in event:
+                raise ValueError(f"{where}: missing {key!r}")
+        phase = event["ph"]
+        if phase == "X":
+            n_complete += 1
+            for key in ("name", "cat", "ts", "dur", "args"):
+                if key not in event:
+                    raise ValueError(f"{where}: complete event missing {key!r}")
+            if not event["name"]:
+                raise ValueError(f"{where}: empty span name")
+            if event["ts"] < 0 or event["dur"] < 0:
+                raise ValueError(f"{where}: negative ts/dur")
+            span_tids.add(event["tid"])
+        elif phase in ("s", "f"):
+            if "id" not in event or "ts" not in event:
+                raise ValueError(f"{where}: flow event missing id/ts")
+            (flow_starts if phase == "s" else flow_finishes).append(event["id"])
+            if phase == "f" and event.get("bp") != "e":
+                raise ValueError(f"{where}: flow finish must bind to enclosing slice")
+        elif phase == "M":
+            if event["name"] == "thread_name":
+                thread_names.add(event["tid"])
+        else:
+            raise ValueError(f"{where}: unexpected phase {phase!r}")
+    if not n_complete:
+        raise ValueError("no complete (X) span events")
+    if sorted(flow_starts) != sorted(flow_finishes):
+        raise ValueError(
+            f"unpaired flow ids: {len(flow_starts)} starts vs "
+            f"{len(flow_finishes)} finishes"
+        )
+    unnamed = span_tids - thread_names
+    if unnamed:
+        raise ValueError(f"spans on threads without thread_name metadata: {sorted(unnamed)}")
+    return (
+        f"{path}: ok — {n_complete} spans on {len(thread_names)} procs, "
+        f"{len(flow_starts)} flow pairs"
+    )
+
+
+def main(argv: List[str]) -> int:
+    if not argv:
+        print("usage: trace_smoke.py trace.json [...]", file=sys.stderr)
+        return 2
+    for path in argv:
+        try:
+            print(validate(path))
+        except (ValueError, OSError, json.JSONDecodeError) as exc:
+            print(f"{path}: INVALID — {exc}", file=sys.stderr)
+            return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

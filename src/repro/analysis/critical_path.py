@@ -1,0 +1,164 @@
+"""Critical-path extraction and stall attribution over span timelines.
+
+Consumes the weighted happens-before DAG built by
+:mod:`repro.obs.spans` and answers the questions aggregate counts
+cannot: what chain of spans determines the (virtual) completion time,
+and how does that chain decompose into useful compute versus each stall
+cause. Three derived shape metrics roll up per run:
+
+``crit_path_len``
+    The makespan — virtual finish time of the last span.
+``serial_frac``
+    Compute seconds on the critical path divided by total compute
+    seconds across all processors: 1.0 means one processor's work is a
+    strict superset of everyone's progress (fully serial), 1/P means
+    perfect balance.
+``barrier_imbalance``
+    Summed (completion − mean arrival) over barrier episodes, as a
+    fraction of the makespan — the share of the run lost to uneven
+    barrier arrivals.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+from repro.obs.spans import STALL_CATEGORIES, Span, SpanTimeline
+
+
+@dataclass
+class CriticalPathReport:
+    """The critical path of one run plus its stall attribution."""
+
+    app: str
+    protocol: str
+    makespan: float
+    #: Spans on the path, in execution order (root first).
+    path: List[Span]
+    #: Seconds of the makespan attributed to each stall category;
+    #: sums to ``makespan`` exactly (telescoping hop deltas).
+    breakdown: Dict[str, float]
+    #: Processor-seconds per category across the whole timeline.
+    totals: Dict[str, float]
+    serial_frac: float
+    barrier_imbalance: float
+    barrier_episodes: int = 0
+    n_procs: int = 0
+    path_procs: List[int] = field(default_factory=list)
+
+    def rollups(self) -> Dict[str, float]:
+        """The per-cell sweep columns for shape comparison."""
+        return {
+            "crit_path_len": self.makespan,
+            "serial_frac": self.serial_frac,
+            "barrier_imbalance": self.barrier_imbalance,
+        }
+
+
+def analyze_critical_path(timeline: SpanTimeline) -> CriticalPathReport:
+    """Walk the determining-predecessor chain back from the last span.
+
+    Every span's ``pred`` is the single predecessor whose finish gated
+    its own — same-processor program order, a remote release, or the
+    last barrier arrival — so the reverse walk from the span with the
+    maximal finish time *is* the critical path. Each hop's contribution
+    to the makespan is the telescoping delta ``span.end − pred.end``
+    (``span.end`` for the root), attributed to stall categories in
+    proportion to the span's own bucket decomposition: when a remote
+    release overlaps the start of an acquire span, only the
+    non-overlapped tail counts, and it counts as whatever the span was
+    doing.
+    """
+    breakdown = dict.fromkeys(STALL_CATEGORIES, 0.0)
+    totals = timeline.stall_totals()
+    spans = timeline.spans
+    if not spans:
+        return CriticalPathReport(
+            app=timeline.app,
+            protocol=timeline.protocol,
+            makespan=0.0,
+            path=[],
+            breakdown=breakdown,
+            totals=totals,
+            serial_frac=0.0,
+            barrier_imbalance=0.0,
+            barrier_episodes=timeline.barrier_episodes,
+            n_procs=timeline.n_procs,
+        )
+
+    terminal = max(spans, key=lambda s: (s.end, s.sid))
+    path: List[Span] = []
+    node = terminal
+    seen = set()
+    while node is not None and node.sid not in seen:
+        seen.add(node.sid)
+        path.append(node)
+        node = spans[node.pred] if node.pred is not None else None
+    path.reverse()
+
+    prev_finish = 0.0
+    for span in path:
+        delta = span.end - prev_finish
+        prev_finish = span.end
+        if delta <= 0.0:
+            continue
+        dur = span.duration
+        if dur > 0.0:
+            scale = delta / dur
+            for category, seconds in span.buckets.items():
+                breakdown[category] += seconds * scale
+        else:
+            breakdown["other"] += delta
+
+    path_compute = sum(span.buckets.get("compute", 0.0) for span in path)
+    total_compute = totals.get("compute", 0.0)
+    serial_frac = path_compute / total_compute if total_compute > 0.0 else 0.0
+    makespan = timeline.makespan
+    barrier_imbalance = (
+        timeline.barrier_imbalance_s / makespan if makespan > 0.0 else 0.0
+    )
+    return CriticalPathReport(
+        app=timeline.app,
+        protocol=timeline.protocol,
+        makespan=makespan,
+        path=path,
+        breakdown=breakdown,
+        totals=totals,
+        serial_frac=serial_frac,
+        barrier_imbalance=barrier_imbalance,
+        barrier_episodes=timeline.barrier_episodes,
+        n_procs=timeline.n_procs,
+        path_procs=sorted({span.proc for span in path}),
+    )
+
+
+def format_critical_path(report: CriticalPathReport) -> str:
+    """Render the stall-attribution table for ``repro report``."""
+    lines = [
+        f"critical path — {report.app} under {report.protocol}",
+        f"  makespan (crit_path_len): {report.makespan * 1e3:.3f} ms"
+        f" across {len(report.path)} spans on procs {report.path_procs}",
+        f"  serial fraction: {report.serial_frac:.3f}"
+        f"   barrier imbalance: {report.barrier_imbalance:.3f}"
+        f" ({report.barrier_episodes} episodes)",
+        "",
+        f"  {'stall cause':<20} {'on path (ms)':>14} {'share':>8} {'all procs (ms)':>16}",
+    ]
+    makespan = report.makespan
+    for category in STALL_CATEGORIES:
+        on_path = report.breakdown.get(category, 0.0)
+        total = report.totals.get(category, 0.0)
+        if on_path == 0.0 and total == 0.0:
+            continue
+        share = on_path / makespan if makespan > 0.0 else 0.0
+        lines.append(
+            f"  {category:<20} {on_path * 1e3:>14.3f} {share:>7.1%} {total * 1e3:>16.3f}"
+        )
+    path_sum = sum(report.breakdown.values())
+    lines.append(
+        f"  {'sum':<20} {path_sum * 1e3:>14.3f} {'100.0%':>8}"
+        if makespan > 0.0
+        else f"  {'sum':<20} {path_sum * 1e3:>14.3f}"
+    )
+    return "\n".join(lines)

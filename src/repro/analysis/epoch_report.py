@@ -38,9 +38,34 @@ def run_with_metrics(
     else:
         config = config.with_page_size(page_size)
     probe = RecordingProbe(sinks=sinks)
-    result = Engine(trace, config, protocol, probe=probe).run()
-    probe.close()
+    try:
+        result = Engine(trace, config, protocol, probe=probe).run()
+    finally:
+        # Guaranteed drain even when the replay raises mid-epoch: sinks
+        # flush whatever was staged, files close, the report stays
+        # parseable.
+        probe.close()
     return result
+
+
+def run_with_spans(
+    trace: TraceStream,
+    protocol: str,
+    page_size: int = 4096,
+    config: Optional[SimConfig] = None,
+    costs=None,
+):
+    """Simulate with a span probe; returns ``(result, timeline)``.
+
+    Like :func:`run_with_metrics` (the result carries the exact metrics
+    snapshot) but additionally reconstructs the causal span timeline for
+    the critical-path section of the report.
+    """
+    from repro.obs.spans import build_span_timeline
+
+    return build_span_timeline(
+        trace, protocol, page_size=page_size, config=config, costs=costs
+    )
 
 
 def _epoch_rows(metrics: Dict[str, object]) -> List[Dict[str, int]]:
@@ -100,8 +125,14 @@ def format_lock_table(
     return "\n".join(lines)
 
 
-def format_report(result: SimulationResult) -> str:
-    """The full ``lrc-sim report`` text for one instrumented run."""
+def format_report(result: SimulationResult, timeline=None) -> str:
+    """The full ``lrc-sim report`` text for one instrumented run.
+
+    With a :class:`~repro.obs.spans.SpanTimeline` the report gains a
+    critical-path section (stall-attribution table plus a second
+    reconciliation line auditing the timeline's re-derived epoch rows
+    against the metrics snapshot).
+    """
     if result.metrics is None:
         raise ValueError("result has no metrics; run with a RecordingProbe attached")
     metrics = result.metrics
@@ -125,15 +156,35 @@ def format_report(result: SimulationResult) -> str:
     )
     if not reconciled:
         logger.error("epoch breakdown does not reconcile with run totals: %s", footer)
-    return "\n".join(
-        [
-            header,
-            provenance,
-            "",
-            format_epoch_table(metrics),
-            "",
-            format_lock_table(metrics),
-            "",
-            footer,
-        ]
-    )
+    sections = [
+        header,
+        provenance,
+        "",
+        format_epoch_table(metrics),
+        "",
+        format_lock_table(metrics),
+    ]
+    if timeline is not None:
+        from repro.analysis.critical_path import (
+            analyze_critical_path,
+            format_critical_path,
+        )
+
+        report = analyze_critical_path(timeline)
+        spans_match = timeline.epoch_rows == rows
+        span_line = (
+            f"span audit: timeline epoch rows {'==' if spans_match else '!='} "
+            f"metrics snapshot ({len(timeline.spans)} spans, "
+            f"{len(timeline.flows)} flow edges)"
+        )
+        if not spans_match:
+            logger.error("span timeline does not reconcile with metrics: %s", span_line)
+        sections += ["", format_critical_path(report), "", span_line]
+    sections += ["", footer]
+    plan_cache = (result.manifest or {}).get("plan_cache")
+    if plan_cache:
+        cache_line = "plan cache: " + " ".join(
+            f"{key}={value}" for key, value in sorted(plan_cache.items())
+        )
+        sections.append(cache_line)
+    return "\n".join(sections)

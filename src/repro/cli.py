@@ -99,6 +99,14 @@ def build_parser() -> argparse.ArgumentParser:
         "--jobs", type=int, default=1,
         help="worker processes for the sweep grid (1 = serial)",
     )
+    sweep_p.add_argument(
+        "--spans", action="store_true",
+        help="span-trace every cell and print the critical-path shape table",
+    )
+    sweep_p.add_argument(
+        "--rollups-csv", metavar="PATH",
+        help="with --spans, write per-cell shape rollups as CSV",
+    )
 
     figures_p = sub.add_parser("figures", help="regenerate Figures 5-14")
     figures_p.add_argument("--apps", nargs="+", choices=sorted(APPS), default=sorted(APPS))
@@ -111,9 +119,25 @@ def build_parser() -> argparse.ArgumentParser:
 
     sub.add_parser("table1", help="validate per-operation message costs")
 
-    trace_p = sub.add_parser("trace", help="generate and save a trace")
+    trace_p = sub.add_parser(
+        "trace", help="save a trace and/or emit a Perfetto span timeline"
+    )
     _add_workload_args(trace_p)
-    trace_p.add_argument("--out", required=True, help=".trc (text) or .trcb (binary)")
+    trace_p.add_argument("--out", help=".trc (text) or .trcb (binary)")
+    trace_p.add_argument(
+        "--spans", metavar="PATH",
+        help="simulate and write the causal span timeline as Chrome "
+        "trace-event JSON (open at ui.perfetto.dev)",
+    )
+    trace_p.add_argument(
+        "--protocol", choices=all_protocol_names(), default="LI",
+        help="protocol to span-trace (with --spans)",
+    )
+    trace_p.add_argument("--page-size", type=int, default=4096)
+    trace_p.add_argument(
+        "--era", choices=("1992", "modern"), default="1992",
+        help="cost-model constants weighting the span timeline",
+    )
 
     stats_p = sub.add_parser("stats", help="sharing analysis of an app trace")
     _add_workload_args(stats_p)
@@ -176,6 +200,11 @@ def build_parser() -> argparse.ArgumentParser:
         "--json", metavar="PATH",
         help="also write {result, metrics, manifest} as JSON (for CI artifacts)",
     )
+    report_p.add_argument(
+        "--no-spans", action="store_true",
+        help="skip span tracing (omit the critical-path section; "
+        "keeps the batched fast path engaged on large traces)",
+    )
 
     return parser
 
@@ -189,9 +218,13 @@ def _cmd_run(args) -> int:
     if args.metrics or args.trace_out:
         sinks = [JsonlSink(args.trace_out)] if args.trace_out else []
         probe = RecordingProbe(sinks=sinks)
-    result = simulate(trace, args.protocol, page_size=args.page_size, probe=probe)
-    if probe is not None:
-        probe.close()
+    try:
+        result = simulate(trace, args.protocol, page_size=args.page_size, probe=probe)
+    finally:
+        # Sinks flush whatever was recorded even if the replay raises
+        # mid-epoch, so a partial event trace stays parseable.
+        if probe is not None:
+            probe.close()
     print(result.summary_row())
     for category, count in result.category_messages().items():
         data = result.category_data_bytes()[category] / 1024
@@ -207,12 +240,26 @@ def _cmd_run(args) -> int:
 
 
 def _cmd_sweep(args) -> int:
+    if args.rollups_csv and not args.spans:
+        logger.error("--rollups-csv requires --spans")
+        return 2
     trace = _generate(args)
-    sweep = run_figure(args.app, page_sizes=args.page_sizes, trace=trace, jobs=args.jobs)
+    sweep = run_figure(
+        args.app, page_sizes=args.page_sizes, trace=trace, jobs=args.jobs,
+        spans=args.spans,
+    )
     spec = FIGURES[args.app]
     print(format_figure_table(sweep, f"Figure {spec.messages_figure}", "messages"))
     print()
     print(format_figure_table(sweep, f"Figure {spec.data_figure}", "data"))
+    if args.spans:
+        print()
+        print(sweep.format_shape_table())
+    if args.rollups_csv:
+        from repro.experiments.export import export_sweep_rollups_csv
+
+        export_sweep_rollups_csv(sweep, args.rollups_csv)
+        print(f"shape rollups -> {args.rollups_csv}")
     return 0
 
 
@@ -243,9 +290,32 @@ def _cmd_table1(args) -> int:
 
 
 def _cmd_trace(args) -> int:
+    if not args.out and not args.spans:
+        logger.error("trace: nothing to do; pass --out and/or --spans")
+        return 2
     trace = _generate(args)
-    save_trace(trace, args.out)
-    print(f"saved {trace!r} -> {args.out}")
+    if args.out:
+        save_trace(trace, args.out)
+        print(f"saved {trace!r} -> {args.out}")
+    if args.spans:
+        from repro.analysis.critical_path import analyze_critical_path
+        from repro.obs.spans import SpanCosts, build_span_timeline, to_chrome_trace
+
+        costs = (
+            SpanCosts.ethernet_1992() if args.era == "1992" else SpanCosts.modern_cluster()
+        )
+        _result, timeline = build_span_timeline(
+            trace, args.protocol, page_size=args.page_size, costs=costs
+        )
+        with open(args.spans, "w", encoding="utf-8") as fh:
+            json.dump(to_chrome_trace(timeline), fh, separators=(",", ":"))
+            fh.write("\n")
+        report = analyze_critical_path(timeline)
+        print(
+            f"span timeline -> {args.spans} ({len(timeline.spans)} spans, "
+            f"{len(timeline.flows)} flow edges, "
+            f"critical path {report.makespan * 1e3:.3f} ms)"
+        )
     return 0
 
 
@@ -328,14 +398,25 @@ def _cmd_timeline(args) -> int:
 
 
 def _cmd_report(args) -> int:
-    from repro.analysis.epoch_report import format_report, run_with_metrics
+    from repro.analysis.epoch_report import (
+        format_report,
+        run_with_metrics,
+        run_with_spans,
+    )
 
     if args.trace_file:
         trace = load_trace(args.trace_file)
     else:
         trace = _generate(args)
-    result = run_with_metrics(trace, args.protocol, page_size=args.page_size)
-    print(format_report(result))
+    timeline = None
+    if args.no_spans:
+        result = run_with_metrics(trace, args.protocol, page_size=args.page_size)
+    else:
+        from repro.analysis.critical_path import analyze_critical_path
+
+        result, timeline = run_with_spans(trace, args.protocol, page_size=args.page_size)
+        result.spans = analyze_critical_path(timeline).rollups()
+    print(format_report(result, timeline=timeline))
     if args.json:
         with open(args.json, "w", encoding="utf-8") as fh:
             json.dump(result.to_dict(), fh, indent=2, sort_keys=True)

@@ -45,6 +45,37 @@ def export_sweep_csv(sweep: SweepResult, metric: str, path: Union[str, Path]) ->
             writer.writerow(row)
 
 
+def export_sweep_rollups_csv(sweep: SweepResult, path: Union[str, Path]) -> int:
+    """Per-cell critical-path shape rollups as long-form CSV.
+
+    One row per (protocol, page size) cell with the three shape columns
+    (``crit_path_len`` in seconds, ``serial_frac``,
+    ``barrier_imbalance``) — the sweep must have run with
+    ``spans=True``. Returns the number of rows written.
+    """
+    rollups = sweep.rollup_table()
+    rows = 0
+    with open(path, "w", newline="", encoding="utf-8") as fp:
+        writer = csv.writer(fp)
+        writer.writerow(
+            ["app", "protocol", "page_size",
+             "crit_path_len", "serial_frac", "barrier_imbalance"]
+        )
+        for protocol in sweep.protocols:
+            for page_size in sweep.page_sizes:
+                cell = rollups.get(protocol, {}).get(page_size)
+                if cell is None:
+                    continue
+                writer.writerow(
+                    [sweep.app, protocol, page_size,
+                     round(cell["crit_path_len"], 9),
+                     round(cell["serial_frac"], 6),
+                     round(cell["barrier_imbalance"], 6)]
+                )
+                rows += 1
+    return rows
+
+
 def export_table1_csv(path: Union[str, Path]) -> int:
     """Validate and write Table 1; returns the number of cells."""
     rows = run_table1()

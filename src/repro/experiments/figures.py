@@ -64,12 +64,15 @@ def run_figure(
     scale: Optional[Dict[str, int]] = None,
     trace: Optional[TraceStream] = None,
     jobs: Optional[int] = None,
+    spans: bool = False,
 ) -> SweepResult:
     """Regenerate one application's messages/data figures.
 
     Pass ``trace`` to reuse a pre-generated trace (the benches do, to keep
     trace generation out of the timed region). ``jobs=N`` parallelizes the
-    sweep grid over worker processes (see :func:`repro.simulator.sweep.run_sweep`).
+    sweep grid over worker processes (see :func:`repro.simulator.sweep.run_sweep`);
+    ``spans=True`` additionally attaches critical-path shape rollups to
+    every cell.
     """
     spec = FIGURES[app]
     if trace is None:
@@ -79,7 +82,11 @@ def run_figure(
         trace = APPS[app](n_procs=n_procs, seed=seed, **params)
     sizes = list(page_sizes) if page_sizes else list(PAPER_PAGE_SIZES)
     return run_sweep(
-        trace, page_sizes=sizes, config=SimConfig(n_procs=trace.n_procs), jobs=jobs
+        trace,
+        page_sizes=sizes,
+        config=SimConfig(n_procs=trace.n_procs),
+        jobs=jobs,
+        spans=spans,
     )
 
 

@@ -929,6 +929,42 @@ def _build_ew_tape(compiled: CompiledTrace, n_procs: int) -> EagerTape:
     return EagerTape("EW", accesses, [], n_ins)
 
 
+def sync_compute_profile(compiled: CompiledTrace, n_procs: int) -> List[List[int]]:
+    """Per-processor compute weights between synchronization operations.
+
+    ``profile[p]`` lists the number of words processor ``p`` touches
+    between consecutive special accesses: entry ``k`` is the weight of
+    the chunk before ``p``'s ``k``-th sync operation (in ``p``'s own
+    program order) and the final entry is the tail after its last one,
+    so ``len(profile[p])`` is always ``p``'s sync count plus one. Word
+    counts are exact — ``OP_READ``/``OP_WRITE`` contribute their word
+    tuples, the ``_N`` forms the sum over their page chunks — and are
+    page-size independent (splitting an access never changes how many
+    words it touches).
+
+    This is the compute axis of the span timelines in
+    :mod:`repro.obs.spans`: the record stream fixes *when* each sync
+    window opens, and this profile fixes how much local work precedes
+    it. Like the skeleton itself it depends only on (compiled trace,
+    n_procs), never on the protocol or per-run config.
+    """
+    profile: List[List[int]] = [[] for _ in range(n_procs)]
+    acc = [0] * n_procs
+    for op in compiled.ops:
+        code = op[0]
+        if code == OP_READ or code == OP_WRITE:
+            acc[op[1]] += len(op[3])
+        elif code == OP_READ_N or code == OP_WRITE_N:
+            acc[op[1]] += sum(len(words) for _, words in op[2])
+        else:  # OP_ACQUIRE / OP_RELEASE / OP_BARRIER
+            proc = op[1]
+            profile[proc].append(acc[proc])
+            acc[proc] = 0
+    for proc in range(n_procs):
+        profile[proc].append(acc[proc])
+    return profile
+
+
 def batch_plan(compiled: CompiledTrace, n_procs: int, trace=None) -> BatchPlan:
     """The (memoized) batch plan of ``compiled`` for ``n_procs``.
 

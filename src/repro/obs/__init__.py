@@ -18,7 +18,14 @@ observable in our runs:
   and histograms plus the per-barrier-epoch and per-lock message/byte
   breakdowns, reconciling *exactly* with the run's aggregates.
 - :mod:`~repro.obs.manifest` — run provenance (git SHA, config, seed,
-  trace digest, phase timings) attached to every result.
+  trace digest, phase timings, plan-cache activity) attached to every
+  result.
+- :mod:`~repro.obs.spans` — causal span timelines: a
+  :class:`SpanProbe` records the raw probe call stream and a post-hoc
+  builder reconstructs per-processor weighted spans linked by
+  happens-before flow edges, exportable as Perfetto-loadable Chrome
+  trace-event JSON and analyzable by
+  :mod:`repro.analysis.critical_path`.
 - :mod:`~repro.obs.logconfig` — ``logging_setup()``, the one place the
   ``repro`` logging tree is configured (CLI ``--verbose``/``--quiet``).
 """
@@ -28,11 +35,23 @@ from repro.obs.manifest import build_manifest, git_sha
 from repro.obs.metrics import MetricsRegistry, merge_metrics
 from repro.obs.probe import NULL_PROBE, Probe, RecordingProbe
 from repro.obs.sinks import ColumnarSink, JsonlSink, MemorySink, read_jsonl
+from repro.obs.spans import (
+    SpanCosts,
+    SpanProbe,
+    SpanTimeline,
+    build_span_timeline,
+    to_chrome_trace,
+)
 
 __all__ = [
     "Probe",
     "RecordingProbe",
     "NULL_PROBE",
+    "SpanProbe",
+    "SpanCosts",
+    "SpanTimeline",
+    "build_span_timeline",
+    "to_chrome_trace",
     "MetricsRegistry",
     "merge_metrics",
     "MemorySink",

@@ -72,13 +72,22 @@ def config_dict(config) -> Dict[str, object]:
     }
 
 
-def build_manifest(trace, config, timings: Optional[Dict[str, float]] = None) -> Dict[str, object]:
+def build_manifest(
+    trace,
+    config,
+    timings: Optional[Dict[str, float]] = None,
+    plan_cache: Optional[Dict[str, int]] = None,
+) -> Dict[str, object]:
     """Assemble the provenance record for one simulation of ``trace``.
 
     ``timings`` maps phase name -> seconds (``simulate_s`` always;
     ``compile_s`` when the engine compiled the trace itself; callers may
-    add ``generate_s``). The trace digest is memoized on the stream, so
-    sweeping 20 cells hashes the columns once.
+    add ``generate_s``). ``plan_cache`` is this run's delta of the
+    batch-plan/tape cache counters (``repro.hb.skeleton.PLAN_STATS``) —
+    whether the sync skeleton and cost-resolved tapes were rebuilt or
+    reused, the first thing to check when two "identical" runs time
+    differently. The trace digest is memoized on the stream, so sweeping
+    20 cells hashes the columns once.
     """
     params = trace.meta.params
     seed = params.get("seed")
@@ -94,4 +103,6 @@ def build_manifest(trace, config, timings: Optional[Dict[str, float]] = None) ->
     }
     if timings:
         manifest["timings_s"] = {name: round(value, 6) for name, value in timings.items()}
+    if plan_cache:
+        manifest["plan_cache"] = dict(plan_cache)
     return manifest

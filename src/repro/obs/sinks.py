@@ -39,7 +39,14 @@ class MemorySink:
 
 
 class JsonlSink:
-    """Write one JSON object per event line to a path or open file."""
+    """Write one JSON object per event line to a path or open file.
+
+    Usable as a context manager; ``close`` is idempotent, flushes
+    always, and closes the file only when this sink opened it — so a
+    run that raises mid-epoch still leaves a complete, parseable file
+    behind (``with JsonlSink(path) as sink: ...`` or an explicit
+    ``try/finally probe.close()``).
+    """
 
     def __init__(self, target: Union[str, Path, IO[str]]):
         if hasattr(target, "write"):
@@ -49,16 +56,32 @@ class JsonlSink:
             self._fp = open(target, "w", encoding="utf-8")
             self._owned = True
         self.events_written = 0
+        self._closed = False
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
 
     def record(self, event: Dict[str, Any]) -> None:
+        if self._closed:
+            raise ValueError("record() on a closed JsonlSink")
         self._fp.write(json.dumps(event, separators=(",", ":")))
         self._fp.write("\n")
         self.events_written += 1
 
     def close(self) -> None:
+        if self._closed:
+            return
+        self._closed = True
         self._fp.flush()
         if self._owned:
             self._fp.close()
+
+    def __enter__(self) -> "JsonlSink":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
 
 
 def read_jsonl(source: Union[str, Path, IO[str]]) -> List[Dict[str, Any]]:
@@ -125,7 +148,14 @@ class ColumnarSink:
             extras_append(extra or None)
 
     def close(self) -> None:
+        """Drain anything still staged; safe to call repeatedly."""
         self.flush()
+
+    def __enter__(self) -> "ColumnarSink":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
 
     def __len__(self) -> int:
         self.flush()

@@ -141,6 +141,20 @@ class Protocol(abc.ABC):
         self._note_write(proc, page, entry)
 
     def acquire(self, proc: ProcId, lock: LockId) -> None:
+        """Acquire ``lock`` on ``proc`` (and open its probe window).
+
+        Span reconstruction contract (:mod:`repro.obs.spans`): the
+        acquire/release/barrier wrappers bracket *all* of an operation's
+        probe traffic — the sync event, every message the operation
+        sends, and any nested diff/fetch events — between one
+        ``probe.begin(cause, id)`` and its matching ``probe.end()``, in
+        emission order; ``advance_epoch()`` fires inside the completing
+        barrier's window, after ``barrier_complete``. The post-hoc span
+        builder parses windows from exactly this bracketing, so protocol
+        implementations must keep sync-time emission inside their
+        ``_on_*`` hooks (called here, inside the window) rather than
+        emitting sync traffic from unbracketed code paths.
+        """
         obs = self._obs
         if obs:
             probe = self.probe

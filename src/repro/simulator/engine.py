@@ -23,6 +23,7 @@ import time
 from typing import Dict, List, Optional, Tuple, Type, Union
 
 from repro.common.errors import SimulatorError
+from repro.hb.skeleton import plan_stats
 from repro.obs.manifest import build_manifest
 from repro.obs.probe import Probe
 from repro.protocols.base import Protocol
@@ -89,6 +90,9 @@ class Engine:
                 "traffic. Build a new Engine (or call simulate()) per run."
             )
         self._ran = True
+        # Snapshot the plan/tape cache counters so _result can put this
+        # run's delta (builds vs. hits) into the provenance manifest.
+        self._plan_stats_before = plan_stats()
 
     def run(self) -> SimulationResult:
         """Replay the whole trace and return the accounting."""
@@ -319,9 +323,20 @@ class Engine:
             read_values=read_values,
             seed=int(seed) if seed is not None else None,
             trace_digest=self.trace.digest(),
-            manifest=build_manifest(self.trace, self.config, timings),
+            manifest=build_manifest(
+                self.trace, self.config, timings, plan_cache=self._plan_cache_delta()
+            ),
             metrics=metrics_snapshot,
         )
+
+    def _plan_cache_delta(self) -> Dict[str, int]:
+        """Plan/tape cache activity attributable to this run alone."""
+        before = getattr(self, "_plan_stats_before", None) or {}
+        return {
+            key: value - before.get(key, 0)
+            for key, value in plan_stats().items()
+            if value - before.get(key, 0)
+        }
 
 
 #: Per-page-size caches backing :func:`_split_access`; bounded so a long

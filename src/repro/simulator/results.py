@@ -41,6 +41,10 @@ class SimulationResult:
     #: Snapshot of the run's :class:`~repro.obs.metrics.MetricsRegistry`
     #: when telemetry was enabled (plain dicts, JSON/pickle friendly).
     metrics: Optional[Dict[str, object]] = None
+    #: Critical-path shape rollups (``crit_path_len``, ``serial_frac``,
+    #: ``barrier_imbalance``) when the run was span-traced — see
+    #: :mod:`repro.analysis.critical_path`.
+    spans: Optional[Dict[str, float]] = None
 
     @property
     def messages(self) -> int:
@@ -98,13 +102,16 @@ class SimulationResult:
         }
         if self.metrics is not None:
             out["metrics"] = self.metrics
+        if self.spans is not None:
+            out["critical_path"] = self.spans
         if self.manifest is not None:
-            # Drop the wall-clock keys so to_dict stays deterministic
-            # across identical replays (pinned by the integration tests).
+            # Drop the wall-clock and process-order-dependent keys so
+            # to_dict stays deterministic across identical replays
+            # (pinned by the integration tests).
             out["manifest"] = {
                 k: v
                 for k, v in self.manifest.items()
-                if k not in ("created", "timings_s")
+                if k not in ("created", "timings_s", "plan_cache")
             }
         return out
 

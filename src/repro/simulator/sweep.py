@@ -100,6 +100,48 @@ class SweepResult:
                     return manifest
         return None
 
+    def rollup_table(self) -> Dict[str, Dict[int, Dict[str, float]]]:
+        """Per-cell critical-path rollups (``run_sweep(spans=True)``).
+
+        ``{protocol: {page_size: {crit_path_len, serial_frac,
+        barrier_imbalance}}}`` — cells run without span tracing are
+        omitted.
+        """
+        table: Dict[str, Dict[int, Dict[str, float]]] = {}
+        for protocol in self.protocols:
+            row = {
+                size: self.grid[(protocol, size)].spans
+                for size in self.page_sizes
+                if self.grid[(protocol, size)].spans is not None
+            }
+            if row:
+                table[protocol] = row  # type: ignore[assignment]
+        return table
+
+    def format_shape_table(self) -> str:
+        """Text rendering of the critical-path shape rollups."""
+        rollups = self.rollup_table()
+        header = f"{self.app} — critical-path shape by page size"
+        lines = [header, "-" * len(header)]
+        if not rollups:
+            lines.append("(no span rollups; run with spans=True)")
+            return "\n".join(lines)
+        for key, label, scale, fmt in (
+            ("crit_path_len", "crit_path_len (ms)", 1e3, "{:>12.3f}"),
+            ("serial_frac", "serial_frac", 1.0, "{:>12.3f}"),
+            ("barrier_imbalance", "barrier_imbalance", 1.0, "{:>12.3f}"),
+        ):
+            lines.append(label)
+            lines.append("proto " + "".join(f"{s:>12}" for s in self.page_sizes))
+            for protocol, row in rollups.items():
+                cells = "".join(
+                    fmt.format(row[s][key] * scale) if s in row else f"{'-':>12}"
+                    for s in self.page_sizes
+                )
+                lines.append(f"{protocol:<6}{cells}")
+            lines.append("")
+        return "\n".join(lines).rstrip()
+
     def format_table(self, metric: str = "messages") -> str:
         """A text rendering of one figure (rows: protocols, cols: page sizes)."""
         header = f"{self.app} — {metric} by page size"
@@ -127,45 +169,77 @@ class SweepResult:
 _worker_trace: Optional[TraceStream] = None
 _worker_config: Optional[SimConfig] = None
 _worker_metrics: bool = False
+_worker_spans: bool = False
 _worker_shm: Optional[shared_memory.SharedMemory] = None
 
 
-def _init_sweep_worker(trace: TraceStream, config: SimConfig, metrics: bool) -> None:
-    global _worker_trace, _worker_config, _worker_metrics
+def _init_sweep_worker(
+    trace: TraceStream, config: SimConfig, metrics: bool, spans: bool = False
+) -> None:
+    global _worker_trace, _worker_config, _worker_metrics, _worker_spans
     _worker_trace = trace
     _worker_config = config
     _worker_metrics = metrics
+    _worker_spans = spans
 
 
-def _init_sweep_worker_shm(descriptor, config: SimConfig, metrics: bool) -> None:
+def _init_sweep_worker_shm(
+    descriptor, config: SimConfig, metrics: bool, spans: bool = False
+) -> None:
     # The handle must outlive the stream (its columns borrow the
     # buffer), so it parks in a module global for the worker's lifetime;
     # worker teardown unmaps it implicitly. Workers never unlink — the
     # segment belongs to the parent.
     from repro.simulator.shm import attach_trace
 
-    global _worker_trace, _worker_config, _worker_metrics, _worker_shm
+    global _worker_trace, _worker_config, _worker_metrics, _worker_spans, _worker_shm
     _worker_shm, _worker_trace = attach_trace(descriptor)
     _worker_config = config
     _worker_metrics = metrics
+    _worker_spans = spans
+
+
+def _cell_probe():
+    """The probe a sweep cell runs under (span tracing implies metrics)."""
+    if _worker_spans:
+        from repro.obs.spans import SpanProbe
+
+        return SpanProbe()
+    if _worker_metrics:
+        return RecordingProbe()
+    return None
+
+
+def _attach_rollups(result: SimulationResult, probe, compiled, n_procs: int) -> None:
+    """Reduce a span-traced cell to its shape rollups, in-process.
+
+    The raw record stream is large and per-worker; only the three-number
+    rollup dict crosses the pool boundary on ``result.spans``.
+    """
+    from repro.analysis.critical_path import analyze_critical_path
+    from repro.obs.spans import timeline_from_records
+
+    timeline = timeline_from_records(
+        probe.records, compiled, n_procs, app=result.app, protocol=result.protocol
+    )
+    result.spans = analyze_critical_path(timeline).rollups()
 
 
 def _run_sweep_cell(cell: Tuple[str, int]) -> Tuple[str, int, SimulationResult, Dict[str, int]]:
     protocol, page_size = cell
     assert _worker_trace is not None and _worker_config is not None
-    engine = Engine(
-        _worker_trace,
-        _worker_config.with_page_size(page_size),
-        protocol,
-        compiled=_worker_trace.compiled(page_size),
-        probe=RecordingProbe() if _worker_metrics else None,
-    )
+    config = _worker_config.with_page_size(page_size)
+    compiled = _worker_trace.compiled(page_size)
+    probe = _cell_probe()
+    engine = Engine(_worker_trace, config, protocol, compiled=compiled, probe=probe)
     # Plan/tape cache traffic happens inside this worker process; ship
     # the per-cell delta back so the parent can report the sweep-wide
     # hit rate (the counters themselves are process-local).
     before = plan_stats()
     result = engine.run()
     after = plan_stats()
+    if _worker_spans:
+        _attach_rollups(result, probe, compiled, config.n_procs)
     return protocol, page_size, result, {k: after[k] - before[k] for k in after}
 
 
@@ -208,6 +282,7 @@ def run_sweep(
     config: Optional[SimConfig] = None,
     jobs: Optional[int] = None,
     metrics: bool = False,
+    spans: bool = False,
 ) -> SweepResult:
     """Run ``trace`` across the protocol and page-size grid.
 
@@ -217,6 +292,10 @@ def run_sweep(
     :class:`~repro.obs.probe.RecordingProbe`, so every cell's result
     carries a metrics snapshot (and parallel workers' snapshots travel
     back as plain dicts — see :meth:`SweepResult.merged_metrics`).
+    ``spans=True`` (implies metrics) span-traces every cell and reduces
+    each — inside the worker, the record stream never crosses the pool
+    boundary — to its critical-path shape rollups on ``result.spans``
+    (see :meth:`SweepResult.rollup_table`).
     """
     protocols = list(protocols) if protocols else protocol_names()
     page_sizes = list(page_sizes) if page_sizes else list(PAPER_PAGE_SIZES)
@@ -242,7 +321,7 @@ def run_sweep(
         len(protocols),
         len(page_sizes),
         f", {jobs} workers" if jobs and jobs > 1 else "",
-        ", metrics on" if metrics else "",
+        ", spans on" if spans else (", metrics on" if metrics else ""),
     )
     if jobs is not None and jobs > 1:
         # Page-size-major order so early work units cover distinct page
@@ -256,7 +335,7 @@ def run_sweep(
 
             shared = SharedTraceColumns(trace)
             initializer = _init_sweep_worker_shm
-            initargs: tuple = (shared.descriptor, base, metrics)
+            initargs: tuple = (shared.descriptor, base, metrics, spans)
         except Exception:
             # Shared memory can be unavailable (tiny /dev/shm, exotic
             # trace types without columns); the sweep still runs, each
@@ -268,7 +347,7 @@ def run_sweep(
             )
             shared = None
             initializer = _init_sweep_worker
-            initargs = (trace, base, metrics)
+            initargs = (trace, base, metrics, spans)
         try:
             with ProcessPoolExecutor(
                 max_workers=jobs,
@@ -296,14 +375,21 @@ def run_sweep(
     before = plan_stats()
     for protocol in protocols:
         for page_size in page_sizes:
-            engine = Engine(
-                trace,
-                base.with_page_size(page_size),
-                protocol,
-                compiled=trace.compiled(page_size),
-                probe=RecordingProbe() if metrics else None,
-            )
-            sweep.grid[(protocol, page_size)] = engine.run()
+            cell_config = base.with_page_size(page_size)
+            compiled = trace.compiled(page_size)
+            if spans:
+                from repro.obs.spans import SpanProbe
+
+                probe = SpanProbe()
+            elif metrics:
+                probe = RecordingProbe()
+            else:
+                probe = None
+            engine = Engine(trace, cell_config, protocol, compiled=compiled, probe=probe)
+            result = engine.run()
+            if spans:
+                _attach_rollups(result, probe, compiled, cell_config.n_procs)
+            sweep.grid[(protocol, page_size)] = result
     after = plan_stats()
     _log_plan_cache({k: after[k] - before[k] for k in after})
     return sweep
