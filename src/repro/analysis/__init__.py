@@ -6,6 +6,8 @@
 - :mod:`repro.analysis.sharing` attributes traffic and false sharing to
   data structures using the trace's region map.
 - :mod:`repro.analysis.report` renders experiment tables.
+- :mod:`repro.analysis.timing_report` renders timed-run completion and
+  stall-decomposition tables (``lrc-sim report --timing``).
 """
 
 from repro.analysis.checker import CheckReport, check_consistency, check_protocol
@@ -15,6 +17,13 @@ from repro.analysis.locks import LockProfile, LockReport, analyze_locks
 from repro.analysis.protocol_stats import Distribution, ProtocolStats, instrumented_run
 from repro.analysis.charts import render_series_chart, render_sweep_chart
 from repro.analysis.timeline import Timeline, message_timeline
+from repro.analysis.timing_report import (
+    compare_timed,
+    format_timing_detail,
+    format_timing_table,
+    run_timed,
+    timing_rows,
+)
 
 __all__ = [
     "CheckReport",
@@ -34,4 +43,9 @@ __all__ = [
     "render_sweep_chart",
     "Timeline",
     "message_timeline",
+    "compare_timed",
+    "format_timing_detail",
+    "format_timing_table",
+    "run_timed",
+    "timing_rows",
 ]

@@ -31,12 +31,20 @@ def run_with_metrics(
     page_size: int = 4096,
     config: Optional[SimConfig] = None,
     sinks: Optional[Sequence[object]] = None,
+    link=None,
 ) -> SimulationResult:
-    """Simulate with a recording probe attached; result carries metrics."""
+    """Simulate with a recording probe attached; result carries metrics.
+
+    Pass ``link`` (a :class:`~repro.network.link.LinkModel`) to run
+    timed; the result additionally carries the completion/stall report
+    on ``result.timing``.
+    """
     if config is None:
         config = SimConfig(n_procs=trace.n_procs, page_size=page_size)
     else:
         config = config.with_page_size(page_size)
+    if link is not None:
+        config = config.with_options(link_model=link)
     probe = RecordingProbe(sinks=sinks)
     try:
         result = Engine(trace, config, protocol, probe=probe).run()
@@ -54,17 +62,21 @@ def run_with_spans(
     page_size: int = 4096,
     config: Optional[SimConfig] = None,
     costs=None,
+    link=None,
 ):
     """Simulate with a span probe; returns ``(result, timeline)``.
 
     Like :func:`run_with_metrics` (the result carries the exact metrics
     snapshot) but additionally reconstructs the causal span timeline for
-    the critical-path section of the report.
+    the critical-path section of the report. With ``link`` the run is
+    timed and the timeline's message weights are the link's measured
+    delays (see :func:`repro.obs.spans.build_span_timeline`).
     """
     from repro.obs.spans import build_span_timeline
 
     return build_span_timeline(
-        trace, protocol, page_size=page_size, config=config, costs=costs
+        trace, protocol, page_size=page_size, config=config, costs=costs,
+        link_model=link,
     )
 
 
@@ -180,6 +192,10 @@ def format_report(result: SimulationResult, timeline=None) -> str:
         if not spans_match:
             logger.error("span timeline does not reconcile with metrics: %s", span_line)
         sections += ["", format_critical_path(report), "", span_line]
+    if result.timing is not None:
+        from repro.analysis.timing_report import format_timing_detail
+
+        sections += ["", format_timing_detail(result.timing)]
     sections += ["", footer]
     plan_cache = (result.manifest or {}).get("plan_cache")
     if plan_cache:

@@ -52,6 +52,24 @@ def _add_workload_args(parser: argparse.ArgumentParser) -> None:
     )
 
 
+def _add_network_arg(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--network", metavar="SPEC",
+        help="run timed over a link model: a preset (ideal, ethernet_1992, "
+        "modern_cluster) and/or key=value overrides, e.g. "
+        "'ethernet_1992,loss=2%%' or 'latency=200us,bw=100MB/s,loss=1%%'",
+    )
+
+
+def _parse_network(args):
+    """The --network spec as a LinkModel, or None when not requested."""
+    if not getattr(args, "network", None):
+        return None
+    from repro.network.link import parse_link_spec
+
+    return parse_link_spec(args.network)
+
+
 def _generate(args):
     """Generate the workload selected by the common CLI arguments."""
     t0 = time.perf_counter()
@@ -89,6 +107,7 @@ def build_parser() -> argparse.ArgumentParser:
         "--trace-out", metavar="PATH",
         help="write the structured protocol event stream as JSON lines",
     )
+    _add_network_arg(run_p)
 
     sweep_p = sub.add_parser("sweep", help="one app across protocols and page sizes")
     _add_workload_args(sweep_p)
@@ -105,8 +124,10 @@ def build_parser() -> argparse.ArgumentParser:
     )
     sweep_p.add_argument(
         "--rollups-csv", metavar="PATH",
-        help="with --spans, write per-cell shape rollups as CSV",
+        help="with --spans, write per-cell shape rollups as CSV "
+        "(timed sweeps add completion_s/retries columns)",
     )
+    _add_network_arg(sweep_p)
 
     figures_p = sub.add_parser("figures", help="regenerate Figures 5-14")
     figures_p.add_argument("--apps", nargs="+", choices=sorted(APPS), default=sorted(APPS))
@@ -138,6 +159,7 @@ def build_parser() -> argparse.ArgumentParser:
         "--era", choices=("1992", "modern"), default="1992",
         help="cost-model constants weighting the span timeline",
     )
+    _add_network_arg(trace_p)
 
     stats_p = sub.add_parser("stats", help="sharing analysis of an app trace")
     _add_workload_args(stats_p)
@@ -159,6 +181,7 @@ def build_parser() -> argparse.ArgumentParser:
         default="1992",
         help="timing-model constants for the runtime estimate",
     )
+    _add_network_arg(compare_p)
 
     export_p = sub.add_parser("export", help="write all figures + Table 1 as CSV/JSON")
     export_p.add_argument("--out", required=True, help="output directory")
@@ -205,6 +228,13 @@ def build_parser() -> argparse.ArgumentParser:
         help="skip span tracing (omit the critical-path section; "
         "keeps the batched fast path engaged on large traces)",
     )
+    report_p.add_argument(
+        "--timing", action="store_true",
+        help="run timed (default link: ethernet_1992; override with "
+        "--network) and print the per-protocol simulated-completion "
+        "and stall-decomposition table",
+    )
+    _add_network_arg(report_p)
 
     return parser
 
@@ -214,12 +244,16 @@ def _cmd_run(args) -> int:
         trace = load_trace(args.trace_file)
     else:
         trace = _generate(args)
+    link = _parse_network(args)
     probe = None
     if args.metrics or args.trace_out:
         sinks = [JsonlSink(args.trace_out)] if args.trace_out else []
         probe = RecordingProbe(sinks=sinks)
+    overrides = {"link_model": link} if link is not None else {}
     try:
-        result = simulate(trace, args.protocol, page_size=args.page_size, probe=probe)
+        result = simulate(
+            trace, args.protocol, page_size=args.page_size, probe=probe, **overrides
+        )
     finally:
         # Sinks flush whatever was recorded even if the replay raises
         # mid-epoch, so a partial event trace stays parseable.
@@ -234,6 +268,11 @@ def _cmd_run(args) -> int:
 
         print()
         print(format_epoch_table(result.metrics))
+    if result.timing is not None:
+        from repro.analysis.timing_report import format_timing_detail
+
+        print()
+        print(format_timing_detail(result.timing))
     if args.trace_out:
         print(f"event trace -> {args.trace_out}")
     return 0
@@ -244,9 +283,15 @@ def _cmd_sweep(args) -> int:
         logger.error("--rollups-csv requires --spans")
         return 2
     trace = _generate(args)
+    link = _parse_network(args)
+    config = None
+    if link is not None:
+        from repro.simulator.config import SimConfig
+
+        config = SimConfig(n_procs=trace.n_procs, link_model=link)
     sweep = run_figure(
         args.app, page_sizes=args.page_sizes, trace=trace, jobs=args.jobs,
-        spans=args.spans,
+        spans=args.spans, config=config,
     )
     spec = FIGURES[args.app]
     print(format_figure_table(sweep, f"Figure {spec.messages_figure}", "messages"))
@@ -301,11 +346,18 @@ def _cmd_trace(args) -> int:
         from repro.analysis.critical_path import analyze_critical_path
         from repro.obs.spans import SpanCosts, build_span_timeline, to_chrome_trace
 
-        costs = (
-            SpanCosts.ethernet_1992() if args.era == "1992" else SpanCosts.modern_cluster()
-        )
+        link = _parse_network(args)
+        # A timed run weights the timeline with the link's measured
+        # delays; SpanCosts defaults from the link inside the builder.
+        costs = None
+        if link is None:
+            costs = (
+                SpanCosts.ethernet_1992() if args.era == "1992"
+                else SpanCosts.modern_cluster()
+            )
         _result, timeline = build_span_timeline(
-            trace, args.protocol, page_size=args.page_size, costs=costs
+            trace, args.protocol, page_size=args.page_size, costs=costs,
+            link_model=link,
         )
         with open(args.spans, "w", encoding="utf-8") as fh:
             json.dump(to_chrome_trace(timeline), fh, separators=(",", ":"))
@@ -337,17 +389,31 @@ def _cmd_check(args) -> int:
 
 def _cmd_compare(args) -> int:
     trace = _generate(args)
-    model = (
-        TimingModel.ethernet_1992() if args.era == "1992" else TimingModel.modern_cluster()
-    )
+    link = _parse_network(args)
+    if link is not None:
+        model = TimingModel.from_link(link)
+    else:
+        model = (
+            TimingModel.ethernet_1992() if args.era == "1992"
+            else TimingModel.modern_cluster()
+        )
+    overrides = {"link_model": link} if link is not None else {}
     print(f"{args.app}, {args.n_procs} processors, {args.page_size}-byte pages:")
     for protocol in all_protocol_names():
-        result = simulate(trace, protocol, page_size=args.page_size)
+        result = simulate(trace, protocol, page_size=args.page_size, **overrides)
         estimate = estimate_runtime(result, model)
-        print(
+        line = (
             f"  {protocol:<3} msgs={result.messages:<9} data={result.data_kbytes:>9.1f}kB "
             f"misses={result.misses:<7} est={estimate.total_seconds:>8.3f}s"
         )
+        if result.timing is not None:
+            # Simulated completion accounts for concurrency and link
+            # contention; the estimate is a serial lower bound.
+            line += (
+                f" sim={result.timing['completion_s']:>8.3f}s"
+                f" retries={result.timing['retries']}"
+            )
+        print(line)
     return 0
 
 
@@ -408,15 +474,41 @@ def _cmd_report(args) -> int:
         trace = load_trace(args.trace_file)
     else:
         trace = _generate(args)
+    link = _parse_network(args)
+    if args.timing and link is None:
+        from repro.network.link import LinkModel
+
+        link = LinkModel.ethernet_1992()
     timeline = None
     if args.no_spans:
-        result = run_with_metrics(trace, args.protocol, page_size=args.page_size)
+        result = run_with_metrics(
+            trace, args.protocol, page_size=args.page_size, link=link
+        )
     else:
         from repro.analysis.critical_path import analyze_critical_path
 
-        result, timeline = run_with_spans(trace, args.protocol, page_size=args.page_size)
+        result, timeline = run_with_spans(
+            trace, args.protocol, page_size=args.page_size, link=link
+        )
         result.spans = analyze_critical_path(timeline).rollups()
     print(format_report(result, timeline=timeline))
+    if args.timing:
+        from repro.analysis.timing_report import compare_timed, format_timing_table
+
+        # The reported protocol's timed run is deterministic for the
+        # (trace, link) pair, so reuse it; only the others rerun.
+        others = compare_timed(
+            trace,
+            link,
+            [p for p in all_protocol_names() if p != args.protocol],
+            page_size=args.page_size,
+        )
+        ordered = {
+            p: (result if p == args.protocol else others[p])
+            for p in all_protocol_names()
+        }
+        print()
+        print(format_timing_table(ordered))
     if args.json:
         with open(args.json, "w", encoding="utf-8") as fh:
             json.dump(result.to_dict(), fh, indent=2, sort_keys=True)

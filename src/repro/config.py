@@ -11,10 +11,12 @@ from __future__ import annotations
 
 import os
 from dataclasses import dataclass, field, replace
+from typing import Optional
 
 from repro.common.errors import ConfigError
 from repro.common.types import is_power_of_two
 from repro.network.costs import CostModel
+from repro.network.link import LinkModel
 
 
 def _default_batched_kernels() -> bool:
@@ -87,6 +89,17 @@ class SimConfig:
             ``False`` as the equivalence baseline. Defaults to on, or to
             the ``REPRO_BATCHED_KERNELS`` environment variable when set
             (``0`` disables — CI's reference-interpreter leg uses this).
+        link_model: when set, the run is *timed*: the engine drives
+            per-processor virtual clocks from this
+            :class:`~repro.network.link.LinkModel` (latency, jitter,
+            bandwidth, loss→timeout→retry) and the result carries a
+            ``timing`` report (simulated completion time, busy/stall
+            decomposition, retry counts) alongside the counts. None
+            (the default) is counting mode. The ledgers are identical
+            either way — timing is an observer, never an actor — but a
+            timed run replays per event (the batched/tape fast paths
+            certify themselves off, since merged accounting has no send
+            order for the clocks to consume).
     """
 
     n_procs: int = PAPER_N_PROCS
@@ -100,6 +113,7 @@ class SimConfig:
     record_values: bool = False
     use_coherence_index: bool = True
     use_batched_kernels: bool = field(default_factory=lambda: _default_batched_kernels())
+    link_model: Optional[LinkModel] = None
 
     def __post_init__(self) -> None:
         if self.n_procs < 1:

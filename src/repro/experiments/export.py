@@ -51,27 +51,37 @@ def export_sweep_rollups_csv(sweep: SweepResult, path: Union[str, Path]) -> int:
     One row per (protocol, page size) cell with the three shape columns
     (``crit_path_len`` in seconds, ``serial_frac``,
     ``barrier_imbalance``) — the sweep must have run with
-    ``spans=True``. Returns the number of rows written.
+    ``spans=True``. Timed sweeps (the config carried a link model) gain
+    two more columns: simulated ``completion_s`` and the ``retries``
+    count per cell. Returns the number of rows written.
     """
     rollups = sweep.rollup_table()
+    timed = any(
+        "completion_s" in cell for row in rollups.values() for cell in row.values()
+    )
     rows = 0
     with open(path, "w", newline="", encoding="utf-8") as fp:
         writer = csv.writer(fp)
-        writer.writerow(
-            ["app", "protocol", "page_size",
-             "crit_path_len", "serial_frac", "barrier_imbalance"]
-        )
+        header = ["app", "protocol", "page_size",
+                  "crit_path_len", "serial_frac", "barrier_imbalance"]
+        if timed:
+            header += ["completion_s", "retries"]
+        writer.writerow(header)
         for protocol in sweep.protocols:
             for page_size in sweep.page_sizes:
                 cell = rollups.get(protocol, {}).get(page_size)
                 if cell is None:
                     continue
-                writer.writerow(
-                    [sweep.app, protocol, page_size,
-                     round(cell["crit_path_len"], 9),
-                     round(cell["serial_frac"], 6),
-                     round(cell["barrier_imbalance"], 6)]
-                )
+                row: List[object] = [
+                    sweep.app, protocol, page_size,
+                    round(cell["crit_path_len"], 9),
+                    round(cell["serial_frac"], 6),
+                    round(cell["barrier_imbalance"], 6),
+                ]
+                if timed:
+                    row += [round(cell.get("completion_s", 0.0), 9),
+                            int(cell.get("retries", 0))]
+                writer.writerow(row)
                 rows += 1
     return rows
 

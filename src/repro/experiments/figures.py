@@ -65,6 +65,7 @@ def run_figure(
     trace: Optional[TraceStream] = None,
     jobs: Optional[int] = None,
     spans: bool = False,
+    config: Optional[SimConfig] = None,
 ) -> SweepResult:
     """Regenerate one application's messages/data figures.
 
@@ -72,7 +73,9 @@ def run_figure(
     trace generation out of the timed region). ``jobs=N`` parallelizes the
     sweep grid over worker processes (see :func:`repro.simulator.sweep.run_sweep`);
     ``spans=True`` additionally attaches critical-path shape rollups to
-    every cell.
+    every cell. ``config`` overrides the base simulation config (its
+    page size is replaced per cell) — the hook for timed sweeps, which
+    set ``config.link_model``.
     """
     spec = FIGURES[app]
     if trace is None:
@@ -84,7 +87,7 @@ def run_figure(
     return run_sweep(
         trace,
         page_sizes=sizes,
-        config=SimConfig(n_procs=trace.n_procs),
+        config=config or SimConfig(n_procs=trace.n_procs),
         jobs=jobs,
         spans=spans,
     )

@@ -10,15 +10,22 @@ per-category counts in :class:`NetworkStats`.
 from repro.network.message import Message, MessageKind
 from repro.network.channel import Channel
 from repro.network.costs import CostModel
+from repro.network.link import LinkModel, derive_network_seed, parse_link_spec
 from repro.network.stats import NetworkStats, CategoryStats
 from repro.network.network import Network
+from repro.network.timed import NetworkTiming, TIMED_STALL_CATEGORIES
 
 __all__ = [
     "Message",
     "MessageKind",
     "Channel",
     "CostModel",
+    "LinkModel",
     "NetworkStats",
     "CategoryStats",
     "Network",
+    "NetworkTiming",
+    "TIMED_STALL_CATEGORIES",
+    "derive_network_seed",
+    "parse_link_spec",
 ]

@@ -43,6 +43,10 @@ class Network:
         #: attribute load + identity check per message.
         self._probe = None
         self._probe_stages = False
+        #: Virtual-clock observer (see :mod:`repro.network.timed`);
+        #: None in counting mode — same one-check-per-send discipline
+        #: as the probe.
+        self._timing = None
         # Cost-model policy flags, hoisted: send() runs once per message
         # of every sweep cell and the model is immutable.
         self._count_acks = self.cost_model.count_acks
@@ -92,6 +96,16 @@ class Network:
             and type(probe).on_message is RecordingProbe.on_message
         )
 
+    def attach_timing(self, timing) -> None:
+        """Install a :class:`~repro.network.timed.NetworkTiming` observer.
+
+        Every non-local send then advances the virtual clocks via
+        ``timing.on_send`` — after the ledger update, so the accounting
+        is identical to counting mode by construction. Pass None to
+        detach.
+        """
+        self._timing = timing
+
     # -- sending ---------------------------------------------------------------
 
     def apply_tape(self, deltas) -> None:
@@ -104,8 +118,16 @@ class Network:
         preconditions as the send fast path (no handlers, no log, every
         kind counted, locals already excluded); probe staging, when a
         probe is attached, is the caller's responsibility — the tape
-        carries matching row totals.
+        carries matching row totals. Timed runs never reach this path —
+        merged accounting has no per-message send order for the virtual
+        clocks to consume, so the engine certifies the batched kernels
+        off when a link model is configured and this guard backstops it.
         """
+        if self._timing is not None:
+            raise RuntimeError(
+                "apply_tape is a counting-mode fast path; timed runs "
+                "(Network.attach_timing) must replay per message"
+            )
         buckets = self._fast_buckets
         for slot, messages, data_bytes, control_bytes in deltas:
             bucket = buckets[slot][0]
@@ -162,6 +184,11 @@ class Network:
                     row[2] += control_bytes
                 else:
                     probe.on_message(kind, src, dst, data, control_bytes, counted)
+            timing = self._timing
+            if timing is not None:
+                timing.on_send(
+                    src, dst, payload_bytes + control_bytes + self._header_bytes
+                )
             return None
         message = Message(
             kind=kind,
@@ -189,6 +216,11 @@ class Network:
                     row[2] += control_bytes
                 else:
                     probe.on_message(kind, src, dst, data, control_bytes, counted)
+            timing = self._timing
+            if timing is not None:
+                timing.on_send(
+                    src, dst, payload_bytes + control_bytes + self._header_bytes
+                )
             if self.keep_log:
                 self._log.append(message)
             channel = self._channels.get((src, dst))

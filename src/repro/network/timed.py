@@ -1,0 +1,219 @@
+"""Virtual-clock timing over the counting network.
+
+The trace-driven simulator replays a *global order* of events and
+delivers every message synchronously — that is the paper's counting
+instrument, and it stays untouched. :class:`NetworkTiming` is a pure
+observer layered on :meth:`Network.send <repro.network.network.Network.send>`:
+it advances per-processor virtual clocks from the
+:class:`~repro.network.link.LinkModel` (sender software overhead, link
+serialization and queueing, loss → timeout → retransmit penalties,
+propagation latency with seeded jitter) and never touches the ledgers.
+Lock-grant chains and barrier arrival/exit fan-outs are plain messages,
+so causality — the acquirer cannot proceed before the releaser's clock,
+nobody leaves a barrier before the last arrival — emerges from clock
+propagation along message edges, with no protocol changes.
+
+Two invariants the tests pin:
+
+* **Ledger invariance.** Message/byte counts are identical between a
+  counting run and a timed run of *any* link configuration — drops are
+  transport-level (they cost ``timeout_s`` each and bump the retry
+  counter, the channels stay reliable as §5.1 assumes), so lossy runs
+  remain comparable to the paper's numbers.
+* **Accounting closure.** Per processor, ``finish == busy + Σ stalls``:
+  every clock advance is attributed to exactly one stall category or to
+  compute.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.network.channel import Channel
+from repro.network.link import LinkModel
+
+#: Stall vocabulary of the timed run report, aligned with the span
+#: timeline's categories where they overlap (``serialization`` and
+#: ``retransmit`` are shared with ``repro.obs.spans.STALL_CATEGORIES``;
+#: ``sync_wait`` is the catch-all for waiting on a peer's progress).
+TIMED_STALL_CATEGORIES: Tuple[str, ...] = (
+    "overhead",
+    "serialization",
+    "latency",
+    "retransmit",
+    "sync_wait",
+)
+
+_OVERHEAD, _SERIALIZATION, _LATENCY, _RETRANSMIT, _SYNC_WAIT = range(5)
+
+
+class NetworkTiming:
+    """Per-processor virtual clocks driven by message traffic.
+
+    Attach via :meth:`Network.attach_timing
+    <repro.network.network.Network.attach_timing>`; the network then
+    calls :meth:`on_send` once per non-local message (local sends are
+    free, exactly as in counting mode). The engine calls
+    :meth:`compute` for ordinary accesses; :meth:`report` renders the
+    run's timing summary after the replay.
+    """
+
+    def __init__(
+        self,
+        link: LinkModel,
+        n_procs: int,
+        network_seed: int,
+        channel_of: Callable[[int, int], Channel],
+        keep_delays: bool = False,
+    ):
+        self.link = link
+        self.n_procs = n_procs
+        self.network_seed = network_seed
+        self._channel = channel_of
+        self._rng = random.Random(network_seed)
+        #: Virtual clock per processor (seconds since run start).
+        self.clock: List[float] = [0.0] * n_procs
+        #: Compute seconds per processor (``compute`` advances).
+        self.busy: List[float] = [0.0] * n_procs
+        #: Stall seconds per processor per category (list-indexed by
+        #: the ``TIMED_STALL_CATEGORIES`` position — this runs once per
+        #: message).
+        self.stall_rows: List[List[float]] = [[0.0] * 5 for _ in range(n_procs)]
+        #: Timed (non-local) messages observed.
+        self.messages = 0
+        #: Total retransmissions across all messages.
+        self.retries = 0
+        #: Per-message ``(total_delay_s, serialization_s, retransmit_s)``
+        #: in send order, one entry per probe-visible message — the
+        #: span builder consumes this in place of synthetic costs.
+        self.delay_log: Optional[List[Tuple[float, float, float]]] = (
+            [] if keep_delays else None
+        )
+
+    # -- hot hooks -------------------------------------------------------------
+
+    def on_send(self, src: int, dst: int, wire_bytes: int) -> None:
+        """Advance clocks for one non-local message of ``wire_bytes``."""
+        link = self.link
+        clock = self.clock
+        depart = now = clock[src]
+        overhead = link.overhead_s
+        if overhead:
+            now += overhead
+            clock[src] = now
+            self.stall_rows[src][_OVERHEAD] += overhead
+        channel = self._channel(src, dst)
+        # Serialization: the link carries one message at a time, so a
+        # burst from the same sender queues behind its own traffic.
+        bandwidth = link.bandwidth
+        if bandwidth:
+            start = channel.busy_until
+            if start < now:
+                start = now
+            channel.busy_until = start + wire_bytes / bandwidth
+            ser_wait = channel.busy_until - now
+        else:
+            ser_wait = 0.0
+        # Loss → timeout → retransmit: geometric in the seeded RNG,
+        # capped at max_retries; the post-budget attempt always succeeds
+        # (reliable channels — loss costs time, never delivery).
+        penalty = 0.0
+        loss = link.loss
+        if loss:
+            lost = 0
+            budget = link.max_retries
+            draw = self._rng.random
+            while lost < budget and draw() < loss:
+                lost += 1
+            if lost:
+                penalty = lost * link.timeout_s
+                self.retries += lost
+        latency = link.latency_s
+        if link.jitter_s:
+            latency += self._rng.random() * link.jitter_s
+        # FIFO clamp lives in the channel: a fast message never passes
+        # an earlier slow one on the same link.
+        arrival = channel.schedule(now + ser_wait + penalty + latency)
+        self.messages += 1
+        if self.delay_log is not None:
+            self.delay_log.append((arrival - depart, ser_wait, penalty))
+        # Receiver advance, decomposed from the tail of the delay
+        # backwards: the network components of *this* message first,
+        # anything earlier is time spent waiting for the sender to get
+        # this far (sync_wait).
+        recv = clock[dst]
+        if arrival > recv:
+            row = self.stall_rows[dst]
+            rem = arrival - recv
+            take = penalty if penalty < rem else rem
+            if take > 0.0:
+                row[_RETRANSMIT] += take
+                rem -= take
+            take = ser_wait if ser_wait < rem else rem
+            if take > 0.0:
+                row[_SERIALIZATION] += take
+                rem -= take
+            take = latency if latency < rem else rem
+            if take > 0.0:
+                row[_LATENCY] += take
+                rem -= take
+            if rem > 0.0:
+                row[_SYNC_WAIT] += rem
+            clock[dst] = arrival
+        channel.deliver_due(clock[dst])
+
+    def compute(self, proc: int, words: int) -> None:
+        """Charge ``words`` of ordinary-access compute to ``proc``."""
+        access = self.link.access_s
+        if access:
+            cost = words * access
+            self.clock[proc] += cost
+            self.busy[proc] += cost
+
+    # -- summary ---------------------------------------------------------------
+
+    @property
+    def completion_s(self) -> float:
+        """Simulated completion time: the last processor's clock."""
+        return max(self.clock) if self.clock else 0.0
+
+    def stall_totals(self) -> Dict[str, float]:
+        """Stall seconds per category, summed across processors."""
+        return {
+            name: sum(row[index] for row in self.stall_rows)
+            for index, name in enumerate(TIMED_STALL_CATEGORIES)
+        }
+
+    def report(self) -> Dict[str, object]:
+        """The timed-run summary carried on the simulation result.
+
+        Plain dicts/lists only — it pickles across sweep workers and
+        serializes to JSON unchanged, like the provenance manifest.
+        """
+        completion = self.completion_s
+        per_proc = []
+        for proc in range(self.n_procs):
+            row = self.stall_rows[proc]
+            per_proc.append(
+                {
+                    "proc": proc,
+                    "finish_s": self.clock[proc],
+                    "busy_s": self.busy[proc],
+                    "stall_s": {
+                        name: row[index]
+                        for index, name in enumerate(TIMED_STALL_CATEGORIES)
+                        if row[index]
+                    },
+                }
+            )
+        return {
+            "network_seed": self.network_seed,
+            "link": self.link.to_dict(),
+            "completion_s": completion,
+            "busy_s": sum(self.busy),
+            "stall_s": self.stall_totals(),
+            "messages": self.messages,
+            "retries": self.retries,
+            "per_proc": per_proc,
+        }

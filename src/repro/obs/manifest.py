@@ -58,6 +58,7 @@ def git_sha(repo_root: Optional[Path] = None) -> Optional[str]:
 
 def config_dict(config) -> Dict[str, object]:
     """A JSON-friendly rendering of a :class:`~repro.config.SimConfig`."""
+    link = getattr(config, "link_model", None)
     return {
         "n_procs": config.n_procs,
         "page_size": config.page_size,
@@ -69,6 +70,7 @@ def config_dict(config) -> Dict[str, object]:
         "record_values": config.record_values,
         "use_coherence_index": config.use_coherence_index,
         "use_batched_kernels": config.use_batched_kernels,
+        "link_model": link.to_dict() if link is not None else None,
     }
 
 
@@ -77,6 +79,7 @@ def build_manifest(
     config,
     timings: Optional[Dict[str, float]] = None,
     plan_cache: Optional[Dict[str, int]] = None,
+    network: Optional[Dict[str, object]] = None,
 ) -> Dict[str, object]:
     """Assemble the provenance record for one simulation of ``trace``.
 
@@ -87,7 +90,10 @@ def build_manifest(
     whether the sync skeleton and cost-resolved tapes were rebuilt or
     reused, the first thing to check when two "identical" runs time
     differently. The trace digest is memoized on the stream, so sweeping
-    20 cells hashes the columns once.
+    20 cells hashes the columns once. ``network`` is the timed-run
+    replay key — the derived ``network_seed`` feeding the loss/jitter
+    RNG plus the full link configuration — making lossy runs replayable
+    from the manifest alone.
     """
     params = trace.meta.params
     seed = params.get("seed")
@@ -105,4 +111,6 @@ def build_manifest(
         manifest["timings_s"] = {name: round(value, 6) for name, value in timings.items()}
     if plan_cache:
         manifest["plan_cache"] = dict(plan_cache)
+    if network:
+        manifest["network"] = dict(network)
     return manifest

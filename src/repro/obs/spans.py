@@ -73,6 +73,8 @@ STALL_CATEGORIES = (
     "barrier_transfer",    # barrier arrival/exit message latency
     "barrier_wait",        # idle at a barrier before the last arrival
     "write_fault",         # EW ownership transfer traffic
+    "serialization",       # finite-bandwidth wire occupancy + queueing
+    "retransmit",          # timeout penalties of dropped messages
     "other",               # unattributed traffic (should stay zero)
 )
 
@@ -105,7 +107,10 @@ class SpanCosts:
     :class:`~repro.simulator.timing.TimingModel`; ``access_s`` is the
     per-word compute cost between synchronization points (a DECstation
     word access is ~50 ns, which makes compute visible next to ~1 ms
-    messages without dominating).
+    messages without dominating). The presets read the canonical
+    constants in :data:`repro.network.link.PRESET_CONSTANTS` — one
+    source, shared with the link model and the runtime estimate, so the
+    literals can no longer drift apart.
     """
 
     message_s: float = 1e-3
@@ -126,16 +131,41 @@ class SpanCosts:
         )
 
     @classmethod
-    def ethernet_1992(cls) -> "SpanCosts":
+    def from_link(cls, link, preset: str = "ethernet_1992") -> "SpanCosts":
+        """The span cost model equivalent to a timed-mode link.
+
+        Wire constants come from the :class:`~repro.network.link.LinkModel`
+        itself; the diff CPU constants (which the link model does not
+        carry — it describes the network, not the processor) come from
+        the named preset.
+        """
+        from repro.network.link import PRESET_CONSTANTS
+
+        constants = PRESET_CONSTANTS[preset]
+        return cls(
+            message_s=link.overhead_s + link.latency_s,
+            byte_s=link.per_byte_s,
+            access_s=link.access_s,
+            diff_create_s=constants["diff_create_s"],
+            diff_apply_s=constants["diff_apply_s"],
+        )
+
+    @classmethod
+    def from_preset(cls, name: str) -> "SpanCosts":
+        from repro.network.link import PRESET_CONSTANTS
         from repro.simulator.timing import TimingModel
 
-        return cls.from_timing(TimingModel.ethernet_1992())
+        return cls.from_timing(
+            TimingModel.from_preset(name), access_s=PRESET_CONSTANTS[name]["access_s"]
+        )
+
+    @classmethod
+    def ethernet_1992(cls) -> "SpanCosts":
+        return cls.from_preset("ethernet_1992")
 
     @classmethod
     def modern_cluster(cls) -> "SpanCosts":
-        from repro.simulator.timing import TimingModel
-
-        return cls.from_timing(TimingModel.modern_cluster(), access_s=1e-9)
+        return cls.from_preset("modern_cluster")
 
     def message(self, data_bytes: int, control_bytes: int) -> float:
         """Latency of one counted-or-not network message."""
@@ -288,11 +318,20 @@ class SpanBuilder:
         n_procs: int,
         app: str = "",
         protocol: str = "",
+        delays: Optional[Sequence[Tuple[float, float, float]]] = None,
     ):
         self.records = records
         self.profile = profile
         self.costs = costs
         self.n_procs = n_procs
+        # Measured per-message delays from a timed run (see
+        # NetworkTiming.delay_log): ``(total_s, serialization_s,
+        # retransmit_s)`` aligned one-to-one with the stream's "msg"
+        # records. When present they replace the synthetic
+        # ``costs.message`` charge, and the serialization/retransmit
+        # portions land in their own stall categories.
+        self._delays = delays
+        self._delay_idx = 0
         self.timeline = SpanTimeline(app, protocol, n_procs, costs)
         # -- virtual clocks and program-order state --
         self.clock = [0.0] * n_procs
@@ -365,6 +404,27 @@ class SpanBuilder:
     def _end_sync(self, proc: int) -> None:
         self._ptr[proc] += 1
         self._laid[proc] = False
+
+    # -- message costs -------------------------------------------------------
+
+    def _msg_cost(self, data: int, ctrl: int) -> Tuple[float, float, float]:
+        """``(total_s, serialization_s, retransmit_s)`` of the next message.
+
+        Consumed exactly once per "msg" record, in stream order — stray
+        messages at encounter, window messages at dispatch (which runs
+        at the window's "end", before any later record) — so the index
+        into the measured delay log stays aligned. Without a delay log
+        this is the synthetic ``costs.message`` charge with no
+        serialization/retransmit components.
+        """
+        delays = self._delays
+        if delays is None:
+            return self.costs.message(data, ctrl), 0.0, 0.0
+        index = self._delay_idx
+        self._delay_idx = index + 1
+        if index < len(delays):
+            return delays[index]
+        return self.costs.message(data, ctrl), 0.0, 0.0
 
     # -- span helpers --------------------------------------------------------
 
@@ -476,7 +536,8 @@ class SpanBuilder:
             # Traffic with no announcing fault event; attribute to the
             # sender so nothing is silently dropped.
             ctx = self._open_ctx(src, "other", "unattributed traffic")
-        cost = self.costs.message(data, ctrl)
+        cost, ser_s, rtx_s = self._msg_cost(data, ctrl)
+        cost -= ser_s + rtx_s
         if name.startswith("PAGE"):
             category = "page_fetch"
         elif name in _DIFF_PULL_KINDS:
@@ -486,6 +547,10 @@ class SpanBuilder:
         else:
             category = "other"
         self._ctx_add(ctx, category, cost)
+        if ser_s:
+            self._ctx_add(ctx, "serialization", ser_s)
+        if rtx_s:
+            self._ctx_add(ctx, "retransmit", rtx_s)
         counterpart = dst if src == ctx["proc"] else src
         if counterpart != ctx["proc"]:
             ctx["servers"].add(counterpart)
@@ -499,7 +564,12 @@ class SpanBuilder:
                 marker = rec
                 break
         if marker is None:
-            return  # empty window: nothing to place on the timeline
+            # Empty window: nothing to place on the timeline, but the
+            # delay-log cursor must still pass over its messages.
+            for rec in wrecs:
+                if rec[0] == "msg":
+                    self._msg_cost(rec[4], rec[5])
+            return
         if marker[1] == "acquire":
             self._window_acquire(cause[1], marker[2], wrecs)
         elif marker[1] == "release":
@@ -511,11 +581,15 @@ class SpanBuilder:
         self._ensure_compute(proc)
         costs = self.costs
         close_s = flush_s = transfer_s = grant_s = page_s = diff_s = 0.0
+        ser_s = rtx_s = 0.0
         grantor: Optional[int] = None
         for rec in wrecs:
             if rec[0] == "msg":
                 _, name, src, dst, data, ctrl, _counted = rec
-                cost = costs.message(data, ctrl)
+                cost, m_ser, m_rtx = self._msg_cost(data, ctrl)
+                cost -= m_ser + m_rtx
+                ser_s += m_ser
+                rtx_s += m_rtx
                 if name in _LOCK_REQ_KINDS:
                     transfer_s += cost
                     if name == "LOCK_FORWARD":
@@ -550,7 +624,7 @@ class SpanBuilder:
                 serial_s = available - arrival
                 if serial_s > 0.0:
                     pred = flow_src = release[1]
-        end = available + grant_s + page_s + diff_s
+        end = available + grant_s + page_s + diff_s + ser_s + rtx_s
         buckets: Dict[str, float] = {}
         for category, seconds in (
             ("diff_create", close_s),
@@ -559,6 +633,8 @@ class SpanBuilder:
             ("lock_serialization", serial_s),
             ("page_fetch", page_s),
             ("diff_fetch", diff_s),
+            ("serialization", ser_s),
+            ("retransmit", rtx_s),
         ):
             if seconds:
                 buckets[category] = seconds
@@ -575,19 +651,26 @@ class SpanBuilder:
     def _window_release(self, lock: int, proc: int, wrecs: List[tuple]) -> None:
         self._ensure_compute(proc)
         costs = self.costs
-        close_s = flush_s = 0.0
+        close_s = flush_s = ser_s = rtx_s = 0.0
         for rec in wrecs:
             if rec[0] == "msg":
-                flush_s += costs.message(rec[4], rec[5])
+                cost, m_ser, m_rtx = self._msg_cost(rec[4], rec[5])
+                flush_s += cost - m_ser - m_rtx
+                ser_s += m_ser
+                rtx_s += m_rtx
             elif rec[1] == "diff_create":
                 close_s += costs.diff_create_s
         t0 = self.clock[proc]
-        end = t0 + close_s + flush_s
+        end = t0 + close_s + flush_s + ser_s + rtx_s
         buckets = {}
         if close_s:
             buckets["diff_create"] = close_s
         if flush_s:
             buckets["flush"] = flush_s
+        if ser_s:
+            buckets["serialization"] = ser_s
+        if rtx_s:
+            buckets["retransmit"] = rtx_s
         sid = self._add_span(
             proc, "release", t0, end, self.prev[proc], buckets, f"release L{lock}",
             args={"lock": lock},
@@ -606,11 +689,14 @@ class SpanBuilder:
                 complete_at = index
                 break
         arrive_recs = wrecs if complete_at is None else wrecs[:complete_at]
-        close_s = flush_s = arrival_s = 0.0
+        close_s = flush_s = arrival_s = ser_s = rtx_s = 0.0
         for rec in arrive_recs:
             if rec[0] == "msg":
                 name = rec[1]
-                cost = costs.message(rec[4], rec[5])
+                cost, m_ser, m_rtx = self._msg_cost(rec[4], rec[5])
+                cost -= m_ser + m_rtx
+                ser_s += m_ser
+                rtx_s += m_rtx
                 if name in _UNLOCK_KINDS or name in (
                     "BARRIER_NOTICE", "BARRIER_UPDATE", "BARRIER_ACK", "BARRIER_RECONCILE"
                 ):
@@ -620,12 +706,14 @@ class SpanBuilder:
             elif rec[1] == "diff_create":
                 close_s += costs.diff_create_s
         t0 = self.clock[proc]
-        t_arrive = t0 + close_s + flush_s + arrival_s
+        t_arrive = t0 + close_s + flush_s + arrival_s + ser_s + rtx_s
         buckets = {}
         for category, seconds in (
             ("diff_create", close_s),
             ("flush", flush_s),
             ("barrier_transfer", arrival_s),
+            ("serialization", ser_s),
+            ("retransmit", rtx_s),
         ):
             if seconds:
                 buckets[category] = seconds
@@ -652,21 +740,25 @@ class SpanBuilder:
         arrivals = [t for _, t, _ in episode]
         self.timeline.barrier_imbalance_s += completion - sum(arrivals) / len(arrivals)
         self.timeline.barrier_episodes += 1
-        # Per-client exit costs: [barrier_transfer, diff_fetch] seconds.
-        per: Dict[int, List[float]] = {p: [0.0, 0.0] for p, _, _ in episode}
+        # Per-client exit costs: [barrier_transfer, diff_fetch,
+        # serialization, retransmit] seconds.
+        per: Dict[int, List[float]] = {p: [0.0, 0.0, 0.0, 0.0] for p, _, _ in episode}
         for rec in comp_recs:
             if rec[0] == "msg":
                 _, name, src, dst, data, ctrl, _counted = rec
                 client = src if name.endswith("_REQUEST") else dst
-                cost = costs.message(data, ctrl)
-                slot = per.setdefault(client, [0.0, 0.0])
+                cost, m_ser, m_rtx = self._msg_cost(data, ctrl)
+                cost -= m_ser + m_rtx
+                slot = per.setdefault(client, [0.0, 0.0, 0.0, 0.0])
                 if name in _DIFF_PULL_KINDS:
                     slot[1] += cost
                 else:
                     slot[0] += cost  # BARRIER_EXIT / bare notices
+                slot[2] += m_ser
+                slot[3] += m_rtx
             elif rec[0] == "ev" and rec[1] == "diff_apply":
                 client = rec[2]
-                slot = per.setdefault(client, [0.0, 0.0])
+                slot = per.setdefault(client, [0.0, 0.0, 0.0, 0.0])
                 slot[1] += ((rec[3] or {}).get("count", 1)) * costs.diff_apply_s
         for proc, t_arrive, arrive_sid in episode:
             wait = completion - t_arrive
@@ -675,19 +767,24 @@ class SpanBuilder:
                     proc, "barrier_wait", t_arrive, completion, arrive_sid,
                     {"barrier_wait": wait}, f"barrier {bid} wait",
                 )
-            transfer_s, fetch_s = per.get(proc, (0.0, 0.0))
+            transfer_s, fetch_s, ser_s, rtx_s = per.get(proc, (0.0, 0.0, 0.0, 0.0))
             buckets = {}
             if transfer_s:
                 buckets["barrier_transfer"] = transfer_s
             if fetch_s:
                 buckets["diff_fetch"] = fetch_s
+            if ser_s:
+                buckets["serialization"] = ser_s
+            if rtx_s:
+                buckets["retransmit"] = rtx_s
+            exit_end = completion + transfer_s + fetch_s + ser_s + rtx_s
             exit_sid = self._add_span(
-                proc, "barrier_exit", completion, completion + transfer_s + fetch_s,
+                proc, "barrier_exit", completion, exit_end,
                 last_sid, buckets, f"barrier {bid} exit", args={"barrier": bid},
             )
             if arrive_sid != last_sid:
                 self.timeline.flows.append((last_sid, exit_sid))
-            self.clock[proc] = completion + transfer_s + fetch_s
+            self.clock[proc] = exit_end
             self.prev[proc] = exit_sid
 
 
@@ -698,8 +795,16 @@ def timeline_from_records(
     costs: Optional[SpanCosts] = None,
     app: str = "",
     protocol: str = "",
+    delays: Optional[Sequence[Tuple[float, float, float]]] = None,
 ) -> SpanTimeline:
-    """Assemble a timeline from a :class:`SpanProbe` record stream."""
+    """Assemble a timeline from a :class:`SpanProbe` record stream.
+
+    ``delays`` is the measured per-message delay log of a timed run
+    (``NetworkTiming.delay_log``, one ``(total, serialization,
+    retransmit)`` triple per "msg" record in stream order); when given,
+    message weights come from the simulated network instead of the
+    synthetic ``costs.message`` charge.
+    """
     from repro.hb.skeleton import sync_compute_profile
 
     return SpanBuilder(
@@ -709,6 +814,7 @@ def timeline_from_records(
         n_procs,
         app=app,
         protocol=protocol,
+        delays=delays,
     ).build()
 
 
@@ -718,12 +824,18 @@ def build_span_timeline(
     page_size: int = 4096,
     config=None,
     costs: Optional[SpanCosts] = None,
+    link_model=None,
 ):
     """Run ``trace`` under ``protocol`` with a SpanProbe and reconstruct.
 
     Returns ``(result, timeline)``: the instrumented
     :class:`~repro.simulator.results.SimulationResult` (metrics snapshot
-    included, for reconciliation) and the :class:`SpanTimeline`.
+    included, for reconciliation) and the :class:`SpanTimeline`. Pass a
+    :class:`~repro.network.link.LinkModel` (or set it on ``config``) to
+    run timed: the timeline's message weights are then the link's
+    measured delays — serialization queueing, seeded jitter, and
+    retransmit penalties included — instead of the synthetic cost
+    model, and ``result.timing`` carries the timed-run report.
     """
     from repro.config import SimConfig
     from repro.simulator.engine import Engine
@@ -732,6 +844,10 @@ def build_span_timeline(
         config = SimConfig(n_procs=trace.n_procs, page_size=page_size)
     else:
         config = config.with_page_size(page_size)
+    if link_model is not None:
+        config = config.with_options(link_model=link_model)
+    if costs is None and config.link_model is not None:
+        costs = SpanCosts.from_link(config.link_model)
     probe = SpanProbe()
     compiled = trace.compiled(config.page_size)
     engine = Engine(trace, config, protocol, compiled=compiled, probe=probe)
@@ -746,6 +862,7 @@ def build_span_timeline(
         costs,
         app=trace.meta.app,
         protocol=result.protocol,
+        delays=getattr(probe, "link_delays", None),
     )
     return result, timeline
 

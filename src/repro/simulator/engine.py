@@ -24,6 +24,8 @@ from typing import Dict, List, Optional, Tuple, Type, Union
 
 from repro.common.errors import SimulatorError
 from repro.hb.skeleton import plan_stats
+from repro.network.link import derive_network_seed
+from repro.network.timed import NetworkTiming
 from repro.obs.manifest import build_manifest
 from repro.obs.probe import Probe
 from repro.protocols.base import Protocol
@@ -77,6 +79,27 @@ class Engine:
         self.probe = probe
         if probe is not None and probe.enabled:
             self.protocol.attach_probe(probe)
+        # Timed run mode: attach the virtual-clock observer to the
+        # protocol's network. The RNG seed is derived from the workload
+        # seed, protocol, and link config (recorded in the manifest), so
+        # lossy runs replay exactly. A probe keeps the per-message delay
+        # log, which the span builder consumes in place of synthetic
+        # costs.
+        self._timing: Optional[NetworkTiming] = None
+        link = config.link_model
+        if link is not None:
+            seed = trace.meta.params.get("seed")
+            network_seed = derive_network_seed(
+                int(seed) if seed is not None else None, self.protocol.name, link
+            )
+            self._timing = NetworkTiming(
+                link,
+                config.n_procs,
+                network_seed,
+                self.protocol.network.channel,
+                keep_delays=probe is not None and probe.enabled,
+            )
+            self.protocol.network.attach_timing(self._timing)
         self._compiled = compiled
         self._ran = False
         if validate:
@@ -104,6 +127,11 @@ class Engine:
             compiled = self.trace.compiled(self.config.page_size)
             timings["compile_s"] = time.perf_counter() - t0
         config = self.config
+        if self._timing is not None:
+            # Timed mode replays per event: the virtual clocks consume
+            # the send order, which the batched/tape fast paths merge
+            # away (Network.apply_tape refuses timed runs outright).
+            return self._run_timed(compiled, timings)
         # The coherence-index requirement is per-family: the lazy
         # protocols answer supports_batched_runs() False when the index
         # is off, while the eager tapes never need it.
@@ -164,6 +192,84 @@ class Engine:
                 protocol.name,
                 len(self.trace),
                 elapsed,
+            )
+        return self._result(read_values, timings)
+
+    def _run_timed(self, compiled: CompiledTrace, timings: Dict[str, float]) -> SimulationResult:
+        """The per-event loop of :meth:`run` plus virtual-clock compute.
+
+        Identical protocol calls in identical order — the ledgers are
+        bit-identical to counting mode by construction (the equivalence
+        suite pins it) — with one addition: after each ordinary access,
+        the touching processor's clock advances by the link model's
+        per-word compute cost. All network time is charged by the
+        :class:`~repro.network.timed.NetworkTiming` observer inside
+        ``Network.send``.
+        """
+        protocol = self.protocol
+        timing = self._timing
+        assert timing is not None
+        compute = timing.compute
+        charge = timing.link.access_s > 0.0
+        record = self.config.record_values
+        read_values: Optional[List[Tuple[int, List[int]]]] = [] if record else None
+        read = protocol.read
+        read_touch = protocol.read_touch
+        write = protocol.write
+        acquire = protocol.acquire
+        release = protocol.release
+        barrier = protocol.barrier
+
+        t0 = time.perf_counter()
+        for op in compiled.ops:
+            code = op[0]
+            if code == OP_WRITE:
+                write(op[1], op[2], op[3], op[4])
+                if charge:
+                    compute(op[1], len(op[3]))
+            elif code == OP_READ:
+                if record:
+                    read_values.append((op[4], read(op[1], op[2], op[3])))
+                else:
+                    read_touch(op[1], op[2])
+                if charge:
+                    compute(op[1], len(op[3]))
+            elif code == OP_ACQUIRE:
+                acquire(op[1], op[2])
+            elif code == OP_RELEASE:
+                release(op[1], op[2])
+            elif code == OP_BARRIER:
+                barrier(op[1], op[2])
+            elif code == OP_READ_N:
+                if record:
+                    values = []
+                    for page, words in op[2]:
+                        values.extend(read(op[1], page, words))
+                    read_values.append((op[3], values))
+                else:
+                    for page, _ in op[2]:
+                        read_touch(op[1], page)
+                if charge:
+                    compute(op[1], sum(len(words) for _, words in op[2]))
+            else:  # OP_WRITE_N
+                proc, token = op[1], op[3]
+                nwords = 0
+                for page, words in op[2]:
+                    write(proc, page, words, token)
+                    nwords += len(words)
+                if charge:
+                    compute(proc, nwords)
+
+        protocol.finish()
+        timings["simulate_s"] = elapsed = time.perf_counter() - t0
+        if logger.isEnabledFor(logging.DEBUG):
+            logger.debug(
+                "replayed %s/%s (timed): %d events in %.3fs, %.6f simulated s",
+                self.trace.meta.app,
+                protocol.name,
+                len(self.trace),
+                elapsed,
+                timing.completion_s,
             )
         return self._result(read_values, timings)
 
@@ -307,6 +413,21 @@ class Engine:
             registry = getattr(probe, "metrics", None)
             if registry is not None:
                 metrics_snapshot = registry.snapshot()
+        timing = self._timing
+        timing_report = None
+        network_manifest = None
+        if timing is not None:
+            timing_report = timing.report()
+            network_manifest = {
+                "network_seed": timing.network_seed,
+                "link": timing.link.to_dict(),
+            }
+            if probe is not None and timing.delay_log is not None:
+                # Hand the measured per-message delays to the span
+                # builder (see timeline_from_records), replacing its
+                # synthetic SpanCosts message charges.
+                probe.link_delays = timing.delay_log
+                probe.link_model = timing.link
         seed = self.trace.meta.params.get("seed")
         return SimulationResult(
             app=self.trace.meta.app,
@@ -324,9 +445,14 @@ class Engine:
             seed=int(seed) if seed is not None else None,
             trace_digest=self.trace.digest(),
             manifest=build_manifest(
-                self.trace, self.config, timings, plan_cache=self._plan_cache_delta()
+                self.trace,
+                self.config,
+                timings,
+                plan_cache=self._plan_cache_delta(),
+                network=network_manifest,
             ),
             metrics=metrics_snapshot,
+            timing=timing_report,
         )
 
     def _plan_cache_delta(self) -> Dict[str, int]:

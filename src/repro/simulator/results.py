@@ -45,6 +45,10 @@ class SimulationResult:
     #: ``barrier_imbalance``) when the run was span-traced — see
     #: :mod:`repro.analysis.critical_path`.
     spans: Optional[Dict[str, float]] = None
+    #: Timed-run report (simulated completion time, per-proc busy/stall
+    #: decomposition, retransmission counts) when the config carried a
+    #: link model — see :meth:`repro.network.timed.NetworkTiming.report`.
+    timing: Optional[Dict[str, object]] = None
 
     @property
     def messages(self) -> int:
@@ -104,6 +108,10 @@ class SimulationResult:
             out["metrics"] = self.metrics
         if self.spans is not None:
             out["critical_path"] = self.spans
+        if self.timing is not None:
+            # Deterministic for a fixed (trace, config): every quantity
+            # derives from the counts and the seeded network RNG.
+            out["timing"] = self.timing
         if self.manifest is not None:
             # Drop the wall-clock and process-order-dependent keys so
             # to_dict stays deterministic across identical replays

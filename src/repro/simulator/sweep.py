@@ -126,16 +126,24 @@ class SweepResult:
         if not rollups:
             lines.append("(no span rollups; run with spans=True)")
             return "\n".join(lines)
-        for key, label, scale, fmt in (
+        metrics = [
             ("crit_path_len", "crit_path_len (ms)", 1e3, "{:>12.3f}"),
             ("serial_frac", "serial_frac", 1.0, "{:>12.3f}"),
             ("barrier_imbalance", "barrier_imbalance", 1.0, "{:>12.3f}"),
-        ):
+        ]
+        if any("completion_s" in cell for row in rollups.values() for cell in row.values()):
+            metrics += [
+                ("completion_s", "completion (ms)", 1e3, "{:>12.3f}"),
+                ("retries", "retries", 1.0, "{:>12.0f}"),
+            ]
+        for key, label, scale, fmt in metrics:
             lines.append(label)
             lines.append("proto " + "".join(f"{s:>12}" for s in self.page_sizes))
             for protocol, row in rollups.items():
                 cells = "".join(
-                    fmt.format(row[s][key] * scale) if s in row else f"{'-':>12}"
+                    fmt.format(row[s][key] * scale)
+                    if s in row and key in row[s]
+                    else f"{'-':>12}"
                     for s in self.page_sizes
                 )
                 lines.append(f"{protocol:<6}{cells}")
@@ -213,16 +221,30 @@ def _cell_probe():
 def _attach_rollups(result: SimulationResult, probe, compiled, n_procs: int) -> None:
     """Reduce a span-traced cell to its shape rollups, in-process.
 
-    The raw record stream is large and per-worker; only the three-number
-    rollup dict crosses the pool boundary on ``result.spans``.
+    The raw record stream is large and per-worker; only the small
+    rollup dict crosses the pool boundary on ``result.spans``. Timed
+    cells (config carried a link model) contribute two extra rollup
+    columns — simulated ``completion_s`` and the ``retries`` count —
+    so a timed sweep's CSV carries the completion grid alongside the
+    shape grid.
     """
     from repro.analysis.critical_path import analyze_critical_path
-    from repro.obs.spans import timeline_from_records
+    from repro.obs.spans import SpanCosts, timeline_from_records
 
+    link = getattr(probe, "link_model", None)
     timeline = timeline_from_records(
-        probe.records, compiled, n_procs, app=result.app, protocol=result.protocol
+        probe.records,
+        compiled,
+        n_procs,
+        costs=SpanCosts.from_link(link) if link is not None else None,
+        app=result.app,
+        protocol=result.protocol,
+        delays=getattr(probe, "link_delays", None),
     )
     result.spans = analyze_critical_path(timeline).rollups()
+    if result.timing is not None:
+        result.spans["completion_s"] = result.timing["completion_s"]
+        result.spans["retries"] = float(result.timing["retries"])
 
 
 def _run_sweep_cell(cell: Tuple[str, int]) -> Tuple[str, int, SimulationResult, Dict[str, int]]:

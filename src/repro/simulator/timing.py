@@ -10,6 +10,17 @@ TreadMarks later reported on DECstations over 10 Mbit Ethernet) or
 anything newer — absolute values are only as good as the constants, but
 protocol *rankings* under a cost model are exactly what the paper left
 open.
+
+.. deprecated::
+    :class:`TimingModel` survives as a thin wrapper over the canonical
+    hardware constants in :mod:`repro.network.link`
+    (:data:`~repro.network.link.PRESET_CONSTANTS`) — the presets here
+    used to duplicate them and drift. New code should configure a
+    :class:`~repro.network.link.LinkModel` and run the timed mode
+    (``SimConfig.link_model``), which *simulates* completion time over
+    imperfect links instead of estimating a serial lower bound from
+    the counts; :func:`estimate_runtime` remains for quick post-hoc
+    estimates from existing results.
 """
 
 from __future__ import annotations
@@ -17,6 +28,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict
 
+from repro.network.link import PRESET_CONSTANTS, LinkModel
 from repro.simulator.results import SimulationResult
 
 
@@ -43,26 +55,43 @@ class TimingModel:
     per_interval_s: float = 2e-5
 
     @classmethod
+    def from_preset(cls, name: str) -> "TimingModel":
+        """Build from the canonical constants in ``repro.network.link``."""
+        constants = PRESET_CONSTANTS[name]
+        return cls(
+            per_message_s=constants["overhead_s"] + constants["latency_s"],
+            per_byte_s=1.0 / constants["bandwidth"],
+            per_diff_create_s=constants["diff_create_s"],
+            per_diff_apply_s=constants["diff_apply_s"],
+            per_interval_s=constants["interval_s"],
+        )
+
+    @classmethod
+    def from_link(cls, link: LinkModel, name: str = "ethernet_1992") -> "TimingModel":
+        """The estimate constants equivalent to a timed-mode link.
+
+        Diff/interval CPU constants come from the named preset (the
+        link model is network-only); the wire constants come from the
+        link itself.
+        """
+        constants = PRESET_CONSTANTS[name]
+        return cls(
+            per_message_s=link.overhead_s + link.latency_s,
+            per_byte_s=link.per_byte_s,
+            per_diff_create_s=constants["diff_create_s"],
+            per_diff_apply_s=constants["diff_apply_s"],
+            per_interval_s=constants["interval_s"],
+        )
+
+    @classmethod
     def ethernet_1992(cls) -> "TimingModel":
         """DECstation-class constants: ~1 ms/message, 10 Mbit Ethernet."""
-        return cls(
-            per_message_s=1e-3,
-            per_byte_s=8e-7,
-            per_diff_create_s=5e-4,
-            per_diff_apply_s=2e-4,
-            per_interval_s=5e-5,
-        )
+        return cls.from_preset("ethernet_1992")
 
     @classmethod
     def modern_cluster(cls) -> "TimingModel":
         """Commodity-cluster constants: ~5 us/message, ~10 GB/s."""
-        return cls(
-            per_message_s=5e-6,
-            per_byte_s=1e-10,
-            per_diff_create_s=2e-6,
-            per_diff_apply_s=1e-6,
-            per_interval_s=2e-7,
-        )
+        return cls.from_preset("modern_cluster")
 
 
 @dataclass
